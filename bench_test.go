@@ -1,0 +1,60 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at reduced (Quick) scale — one testing.B per exhibit. Full-scale numbers
+// are produced by `xenic-bench <id>` and recorded in EXPERIMENTS.md.
+package xenic_test
+
+import (
+	"testing"
+
+	"xenic/internal/harness"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, ok := harness.ByID(id)
+		if !ok {
+			b.Fatalf("experiment %s not registered", id)
+		}
+		r := e.Run(harness.Options{Quick: true, Seed: 1})
+		if len(r.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Figure 2 (§3.2): roundtrip latency of remote operations.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// Figure 3 (§3.4): remote write throughput, batched vs single.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// Figure 4 (§3.5): DMA engine throughput and latency.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// Table 1 (§3.6): NIC ARM vs host Xeon core performance.
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table 2 (§4.1.4): lookup efficiency at 90% occupancy.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// Figure 8a (§5.2): TPC-C new-order throughput/latency.
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// Figure 8b (§5.3): full TPC-C throughput/latency.
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// Figure 8c (§5.4): Retwis throughput/latency.
+func BenchmarkFig8c(b *testing.B) { benchExperiment(b, "fig8c") }
+
+// Figure 8d (§5.5): Smallbank throughput/latency.
+func BenchmarkFig8d(b *testing.B) { benchExperiment(b, "fig8d") }
+
+// Table 3 (§5.6): minimum threads at 95% of peak.
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Figure 9a (§5.7): Retwis throughput ablation.
+func BenchmarkFig9a(b *testing.B) { benchExperiment(b, "fig9a") }
+
+// Figure 9b (§5.7): Smallbank latency ablation.
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, "fig9b") }

@@ -1,0 +1,64 @@
+// xenic-bench regenerates the paper's tables and figures on the simulated
+// testbed.
+//
+//	xenic-bench -list            # show available experiments
+//	xenic-bench table2 fig8c     # run specific experiments
+//	xenic-bench -quick all       # fast, reduced-scale pass over everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xenic/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced populations and windows (seconds instead of minutes)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xenic-bench [-quick] [-seed N] <experiment-id>... | all\n\n")
+		fmt.Fprintf(os.Stderr, "experiments:\n")
+		for _, e := range harness.All() {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n           paper: %s\n", e.ID, e.Title, e.PaperRef)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range harness.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+
+	opt := harness.Options{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		fmt.Printf("# %s (%s)\n# paper: %s\n", e.ID, e.Title, e.PaperRef)
+		r := e.Run(opt)
+		r.Print(os.Stdout)
+		fmt.Printf("# wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,123 @@
+// xenic-sim runs one ad-hoc cluster configuration and prints its result:
+// pick a workload, a system (xenic or a baseline), thread counts, the
+// offered-load window, and a measurement duration.
+//
+//	xenic-sim -workload smallbank -system xenic -window 128 -ms 20
+//	xenic-sim -workload tpcc -system drtmh -threads 16 -ms 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xenic"
+	"xenic/internal/txnmodel"
+)
+
+func main() {
+	workload := flag.String("workload", "smallbank", "tpcc | tpcc-neworder | retwis | smallbank")
+	system := flag.String("system", "xenic", "xenic | drtmh | drtmh-nc | fasst | drtmr")
+	nodes := flag.Int("nodes", 6, "servers")
+	replication := flag.Int("replication", 3, "replicas per shard")
+	threads := flag.Int("threads", 16, "baseline host threads / Xenic NIC cores")
+	app := flag.Int("app", 2, "Xenic host application threads")
+	workers := flag.Int("workers", 3, "Xenic host worker threads")
+	window := flag.Int("window", 64, "outstanding transactions per node")
+	warmMS := flag.Int("warm-ms", 3, "simulated warmup [ms]")
+	ms := flag.Int("ms", 10, "simulated measurement window [ms]")
+	scale := flag.Float64("scale", 0.1, "population scale vs the paper's sizing")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	oneLink := flag.Bool("one-link", false, "use one 50Gbps link per server (§5.3)")
+	flag.Parse()
+
+	var gen txnmodel.Generator
+	switch *workload {
+	case "tpcc":
+		g := xenic.TPCC()
+		g.WarehousesPerServer = scaleInt(72, *scale, 2)
+		gen = g
+	case "tpcc-neworder":
+		g := xenic.TPCCNewOrder()
+		g.WarehousesPerServer = scaleInt(72, *scale, 2)
+		gen = g
+	case "retwis":
+		g := xenic.Retwis()
+		g.KeysPerServer = scaleInt(1_000_000, *scale, 1000)
+		gen = g
+	case "smallbank":
+		g := xenic.Smallbank()
+		g.AccountsPerServer = scaleInt(2_400_000, *scale, 1000)
+		gen = g
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	warm := xenic.Time(*warmMS) * xenic.Millisecond
+	win := xenic.Time(*ms) * xenic.Millisecond
+
+	if strings.EqualFold(*system, "xenic") {
+		cfg := xenic.DefaultConfig()
+		cfg.Nodes = *nodes
+		cfg.Replication = *replication
+		cfg.AppThreads = *app
+		cfg.WorkerThreads = *workers
+		cfg.NICCores = *threads
+		cfg.Outstanding = max(1, *window / *app)
+		cfg.Seed = *seed
+		if *oneLink {
+			cfg.Params = cfg.Params.OneLink()
+		}
+		cl, err := xenic.NewCluster(cfg, gen)
+		must(err)
+		res := cl.Measure(warm, win)
+		fmt.Printf("xenic/%s: %s\n", gen.Name(), res)
+		return
+	}
+
+	var sys xenic.Baseline
+	switch strings.ToLower(*system) {
+	case "drtmh":
+		sys = xenic.DrTMH
+	case "drtmh-nc", "nc":
+		sys = xenic.DrTMHNC
+	case "fasst":
+		sys = xenic.FaSST
+	case "drtmr":
+		sys = xenic.DrTMR
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+	cfg := xenic.DefaultBaselineConfig(sys)
+	cfg.Nodes = *nodes
+	cfg.Replication = *replication
+	cfg.Threads = *threads
+	cfg.Outstanding = max(1, *window / *threads)
+	cfg.Seed = *seed
+	if *oneLink {
+		cfg.Params = cfg.Params.OneLink()
+	}
+	cl, err := xenic.NewBaseline(cfg, gen)
+	must(err)
+	res := cl.Measure(warm, win)
+	fmt.Printf("%s/%s: tput=%.0f txn/s/server p50=%v p99=%v aborts=%d\n",
+		sys, gen.Name(), res.PerServerTput, res.Median, res.P99, res.Aborts)
+}
+
+func scaleInt(v int, scale float64, min int) int {
+	out := int(float64(v) * scale)
+	if out < min {
+		out = min
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

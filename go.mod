@@ -1,0 +1,3 @@
+module xenic
+
+go 1.24

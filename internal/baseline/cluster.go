@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"fmt"
+
+	"xenic/internal/hostrt"
+	"xenic/internal/metrics"
+	"xenic/internal/rdma"
+	"xenic/internal/sim"
+	"xenic/internal/simnet"
+	"xenic/internal/store/btree"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+)
+
+// Cluster is a simulated baseline deployment.
+type Cluster struct {
+	cfg    Config
+	eng    *sim.Engine
+	nw     *simnet.Network
+	nodes  []*Node
+	gen    txnmodel.Generator
+	place  txnmodel.Placement
+	reg    *txnmodel.Registry
+	loadOn bool
+}
+
+// New builds and populates a baseline cluster running workload gen.
+func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg: cfg,
+		eng: sim.NewEngine(cfg.Seed),
+		gen: gen,
+		reg: txnmodel.NewRegistry(),
+	}
+	cl.nw = simnet.New(cl.eng, cfg.Params, cfg.Nodes)
+	cl.place = gen.Placement(cfg.Nodes, cfg.Replication)
+	gen.Register(cl.reg)
+	spec := gen.Spec()
+
+	for id := 0; id < cfg.Nodes; id++ {
+		n := &Node{
+			cl:      cl,
+			id:      id,
+			primary: newShardData(spec, cl.place),
+			backups: map[int]*shardData{},
+			locks:   map[uint64]uint64{},
+		}
+		n.stats.Latency = metrics.NewHistogram()
+		for s := 0; s < cfg.Nodes; s++ {
+			for _, b := range cfg.backupsOf(s) {
+				if b == id {
+					n.backups[s] = newShardData(spec, cl.place)
+				}
+			}
+		}
+		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.Threads)
+		n.rnic = rdma.New(cl.eng, cfg.Params, cl.nw, id, n.host)
+		n.host.OnMessage(n.hostHandler)
+		n.host.OnIdle(n.hostIdle)
+		n.host.SetRouter(func(m wire.Msg) int {
+			// RPC requests spread across threads; completions and
+			// responses go to the owning thread.
+			switch m.(type) {
+			case *wire.Execute, *wire.Validate, *wire.Log, *wire.Commit, *wire.Abort:
+				return int(m.(interface{ GetTxnID() uint64 }).GetTxnID() % uint64(cfg.Threads))
+			}
+			return txnThread(m.(interface{ GetTxnID() uint64 }).GetTxnID())
+		})
+		n.host.OnTransmit(func(t *hostrt.Thread, ms []wire.Msg) {
+			panic("baseline: thread outbox unused; all sends go through the RDMA NIC")
+		})
+		for a := 0; a < cfg.Threads; a++ {
+			n.app = append(n.app, &appThread{id: a, inflight: map[uint64]*btxn{}})
+		}
+		cl.nodes = append(cl.nodes, n)
+	}
+
+	for s := 0; s < cfg.Nodes; s++ {
+		primary := cl.nodes[s]
+		backups := cfg.backupsOf(s)
+		cl.gen.Populate(s, cfg.Nodes, func(key uint64, value []byte) {
+			if got := cl.place.ShardOf(key); got != s {
+				panic(fmt.Sprintf("baseline: populate: key %d in shard %d emitted for %d", key, got, s))
+			}
+			primary.primary.apply(key, value, 1)
+			for _, b := range backups {
+				cl.nodes[b].backups[s].apply(key, value, 1)
+			}
+		})
+	}
+	return cl, nil
+}
+
+// Engine exposes the simulation engine.
+func (cl *Cluster) Engine() *sim.Engine { return cl.eng }
+
+// Node returns node i.
+func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
+
+// Stats returns node i's counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Start begins closed-loop load generation.
+func (cl *Cluster) Start() {
+	cl.loadOn = true
+	for _, n := range cl.nodes {
+		n.host.WakeAll()
+	}
+}
+
+// StopLoad stops generating new transactions.
+func (cl *Cluster) StopLoad() { cl.loadOn = false }
+
+// Run advances simulated time by d.
+func (cl *Cluster) Run(d sim.Time) { cl.eng.Run(cl.eng.Now() + d) }
+
+// Quiesced reports whether all transactions have drained.
+func (cl *Cluster) Quiesced() bool {
+	for _, n := range cl.nodes {
+		for _, at := range n.app {
+			if at.outstanding > 0 || len(at.retryq) > 0 {
+				return false
+			}
+		}
+		if n.apHead < len(n.applyq) || len(n.locks) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain stops load and runs until quiesced or the deadline passes.
+func (cl *Cluster) Drain(deadline sim.Time) bool {
+	cl.StopLoad()
+	end := cl.eng.Now() + deadline
+	for cl.eng.Now() < end {
+		if cl.Quiesced() {
+			return true
+		}
+		cl.Run(100 * sim.Microsecond)
+	}
+	return cl.Quiesced()
+}
+
+// Result mirrors core.Cluster's measurement summary.
+type Result struct {
+	Duration      sim.Time
+	Committed     int64
+	Measured      int64
+	Aborts        int64
+	Failed        int64
+	PerServerTput float64
+	Median        sim.Time
+	P99           sim.Time
+	Mean          sim.Time
+}
+
+// Measure runs warmup, resets statistics, runs the window, aggregates.
+func (cl *Cluster) Measure(warmup, window sim.Time) Result {
+	if !cl.loadOn {
+		cl.Start()
+	}
+	cl.Run(warmup)
+	type snap struct{ committed, measured, aborts, failed int64 }
+	snaps := make([]snap, len(cl.nodes))
+	for i, n := range cl.nodes {
+		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts, n.stats.Failed}
+		n.stats.Latency.Reset()
+	}
+	cl.Run(window)
+	res := Result{Duration: window}
+	lat := metrics.NewHistogram()
+	for i, n := range cl.nodes {
+		res.Committed += n.stats.Committed - snaps[i].committed
+		res.Measured += n.stats.Measured - snaps[i].measured
+		res.Aborts += n.stats.Aborts - snaps[i].aborts
+		res.Failed += n.stats.Failed - snaps[i].failed
+		lat.Merge(n.stats.Latency)
+	}
+	res.PerServerTput = float64(res.Measured) / window.Seconds() / float64(len(cl.nodes))
+	res.Median = lat.Median()
+	res.P99 = lat.Quantile(0.99)
+	res.Mean = lat.Mean()
+	return res
+}
+
+// ReadKey reads a key from its primary (for tests).
+func (cl *Cluster) ReadKey(key uint64) ([]byte, uint64, bool) {
+	return cl.nodes[cl.place.ShardOf(key)].primary.read(key)
+}
+
+// ReplicasConsistent verifies backup replicas converged to the primary.
+func (cl *Cluster) ReplicasConsistent() error {
+	for s := 0; s < cl.cfg.Nodes; s++ {
+		p := cl.nodes[s].primary
+		for _, b := range cl.cfg.backupsOf(s) {
+			bk := cl.nodes[b].backups[s]
+			if p.hash.Len() != bk.hash.Len() {
+				return fmt.Errorf("shard %d at node %d: hash size %d vs %d", s, b, p.hash.Len(), bk.hash.Len())
+			}
+			if p.btree.Len() != bk.btree.Len() {
+				return fmt.Errorf("shard %d at node %d: btree size %d vs %d", s, b, p.btree.Len(), bk.btree.Len())
+			}
+			var err error
+			p.hash.ForEach(func(key uint64, version uint64, value []byte) bool {
+				r := bk.hash.Lookup(key)
+				if !r.Found || r.Version != version || string(r.Value) != string(value) {
+					err = fmt.Errorf("shard %d at node %d: key %d diverges", s, b, key)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			p.btree.AscendRange(0, ^uint64(0), func(it btree.Item) bool {
+				got, ok := bk.btree.Get(it.Key)
+				if !ok || got.Version != it.Version || string(got.Value) != string(it.Value) {
+					err = fmt.Errorf("shard %d at node %d: btree key %d diverges", s, b, it.Key)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/hostrt"
+	"xenic/internal/membership"
+	"xenic/internal/metrics"
+	"xenic/internal/nicrt"
+	"xenic/internal/sim"
+	"xenic/internal/simnet"
+	"xenic/internal/store/btree"
+	"xenic/internal/store/nicindex"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+)
+
+// Cluster is a simulated Xenic deployment: Config.Nodes servers, each a
+// coordinator, the primary of one shard, and a backup for Replication-1
+// others (§4).
+type Cluster struct {
+	cfg    Config
+	eng    *sim.Engine
+	nw     *simnet.Network
+	nodes  []*Node
+	gen    txnmodel.Generator
+	place  txnmodel.Placement
+	reg    *txnmodel.Registry
+	spec   txnmodel.StoreSpec
+	loadOn bool
+
+	mgr  *membership.Manager
+	view membership.View
+}
+
+// primaryNode is the node currently serving shard s.
+func (cl *Cluster) primaryNode(s int) int { return cl.view.PrimaryOf[s] }
+
+// viewBackups lists shard s's surviving backups in the current view.
+func (cl *Cluster) viewBackups(s int) []int { return cl.view.BackupsOf[s] }
+
+// replicasOf lists every surviving replica of shard s: the serving primary
+// followed by the backups.
+func (cl *Cluster) replicasOf(s int) []int {
+	out := []int{cl.view.PrimaryOf[s]}
+	return append(out, cl.view.BackupsOf[s]...)
+}
+
+// View returns the current membership view.
+func (cl *Cluster) View() membership.View { return cl.view }
+
+// New builds and populates a cluster running workload gen.
+func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg: cfg,
+		eng: sim.NewEngine(cfg.Seed),
+		gen: gen,
+		reg: txnmodel.NewRegistry(),
+	}
+	cl.nw = simnet.New(cl.eng, cfg.Params, cfg.Nodes)
+	cl.place = gen.Placement(cfg.Nodes, cfg.Replication)
+	gen.Register(cl.reg)
+	spec := gen.Spec()
+	cl.spec = spec
+
+	for id := 0; id < cfg.Nodes; id++ {
+		own := newShardData(spec, cl.place)
+		n := &Node{
+			cl:            cl,
+			id:            id,
+			prims:         map[int]*primaryShard{},
+			backups:       map[int]*ShardData{},
+			log:           newHostLog(),
+			pins:          map[uint64][]uint64{},
+			pinIdx:        map[uint64]*nicindex.Index{},
+			ctxns:         map[uint64]*ctxn{},
+			remoteLocks:   map[uint64][]uint64{},
+			recov:         map[txnShard]*recovering{},
+			pendingDecide: map[txnShard][]uint64{},
+			alive:         true,
+		}
+		n.stats.Latency = metrics.NewHistogram()
+		for s := 0; s < cfg.Nodes; s++ {
+			for _, b := range cfg.backupsOf(s) {
+				if b == id {
+					n.backups[s] = newShardData(spec, cl.place)
+				}
+			}
+		}
+		n.prims[id] = &primaryShard{
+			data:  own,
+			index: nicindex.New(own.Hash, cl.cacheCap(), 1),
+			ready: true,
+		}
+
+		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.AppThreads+cfg.WorkerThreads)
+		n.nic = nicrt.New(cl.eng, cfg.Params, cl.nw, id, cfg.NICCores, cfg.Features.runtime())
+
+		n.nic.OnMessage(n.nicHandler)
+		nic, host := n.nic, n.host
+		n.nic.OnHostDeliver(func(ms []wire.Msg) { host.Deliver(id, ms) })
+		n.host.OnMessage(n.hostHandler)
+		n.host.OnIdle(n.hostIdle)
+		n.host.SetRouter(n.hostRouter)
+		p := cfg.Params
+		n.host.OnTransmit(func(t *hostrt.Thread, ms []wire.Msg) {
+			t.At(p.HostToNIC, func() { nic.FromHost(ms) })
+		})
+
+		for a := 0; a < cfg.AppThreads; a++ {
+			n.app = append(n.app, &appThread{node: n, id: a, inflight: map[uint64]*appTxn{}})
+		}
+		cl.nodes = append(cl.nodes, n)
+	}
+
+	cl.populate()
+
+	// Membership: leases renewed by live nodes, reconfiguration on expiry
+	// (§4.2.1). The manager runs off the critical path.
+	cl.mgr = membership.New(cl.eng, cfg.Nodes, cfg.Replication, cfg.Membership)
+	cl.view = cl.mgr.View()
+	cl.mgr.OnChange(cl.onViewChange)
+	for _, n := range cl.nodes {
+		n := n
+		cl.eng.Ticker(cfg.Membership.RenewPeriod, func() bool {
+			if n.alive {
+				cl.mgr.Renew(n.id)
+			}
+			return true
+		})
+	}
+	cl.mgr.Start()
+	return cl, nil
+}
+
+// cacheCap is the SmartNIC index cache capacity from the workload spec.
+func (cl *Cluster) cacheCap() int {
+	cache := cl.spec.NICCacheObjects
+	if cache <= 0 {
+		cache = cl.spec.HashSlots / 4
+	}
+	return cache
+}
+
+// Kill crashes node id: it stops processing and renewing its lease; the
+// manager reconfigures once the lease expires.
+func (cl *Cluster) Kill(id int) {
+	cl.nodes[id].alive = false
+}
+
+// populate loads initial records into every shard's primary and backups,
+// then syncs the NIC index hints (the NIC learns the layout at setup).
+func (cl *Cluster) populate() {
+	for s := 0; s < cl.cfg.Nodes; s++ {
+		primary := cl.nodes[s]
+		backups := cl.cfg.backupsOf(s)
+		cl.gen.Populate(s, cl.cfg.Nodes, func(key uint64, value []byte) {
+			if got := cl.place.ShardOf(key); got != s {
+				panic(fmt.Sprintf("core: populate: key %d belongs to shard %d, emitted for %d", key, got, s))
+			}
+			kv := wire.KV{Key: key, Version: 1, Value: value}
+			primary.prims[s].data.Apply(kv)
+			for _, b := range backups {
+				cl.nodes[b].backups[s].Apply(kv)
+			}
+		})
+	}
+	for _, n := range cl.nodes {
+		for _, p := range n.prims {
+			p.index.SyncHints()
+		}
+	}
+}
+
+// Engine exposes the simulation engine.
+func (cl *Cluster) Engine() *sim.Engine { return cl.eng }
+
+// Node returns node i.
+func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
+
+// Nodes returns the node count.
+func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
+
+// Config returns the cluster configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// Start begins closed-loop load generation on every application thread.
+func (cl *Cluster) Start() {
+	cl.loadOn = true
+	for _, n := range cl.nodes {
+		n.host.WakeAll()
+	}
+}
+
+// StopLoad stops generating new transactions; in-flight ones drain.
+func (cl *Cluster) StopLoad() { cl.loadOn = false }
+
+// Run advances simulated time by d.
+func (cl *Cluster) Run(d sim.Time) { cl.eng.Run(cl.eng.Now() + d) }
+
+// Result summarizes a measurement window.
+type Result struct {
+	Duration      sim.Time
+	Committed     int64 // all committed transactions
+	Measured      int64 // workload-counted transactions (e.g. new orders)
+	Aborts        int64
+	Failed        int64
+	PerServerTput float64 // measured transactions /s /server
+	Median        sim.Time
+	P99           sim.Time
+	Mean          sim.Time
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d failed=%d",
+		r.PerServerTput, r.Median, r.P99, r.Aborts, r.Failed)
+}
+
+// Measure runs warmup, resets statistics, runs the measurement window, and
+// aggregates cluster-wide results.
+func (cl *Cluster) Measure(warmup, window sim.Time) Result {
+	if !cl.loadOn {
+		cl.Start()
+	}
+	cl.Run(warmup)
+	type snap struct{ committed, measured, aborts, failed int64 }
+	snaps := make([]snap, len(cl.nodes))
+	for i, n := range cl.nodes {
+		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts, n.stats.Failed}
+		n.stats.Latency.Reset()
+	}
+	cl.Run(window)
+	res := Result{Duration: window}
+	lat := metrics.NewHistogram()
+	for i, n := range cl.nodes {
+		res.Committed += n.stats.Committed - snaps[i].committed
+		res.Measured += n.stats.Measured - snaps[i].measured
+		res.Aborts += n.stats.Aborts - snaps[i].aborts
+		res.Failed += n.stats.Failed - snaps[i].failed
+		lat.Merge(n.stats.Latency)
+	}
+	res.PerServerTput = float64(res.Measured) / window.Seconds() / float64(len(cl.nodes))
+	res.Median = lat.Median()
+	res.P99 = lat.Quantile(0.99)
+	res.Mean = lat.Mean()
+	return res
+}
+
+// Quiesced reports whether the cluster has fully drained: no in-flight
+// transactions, no coordinator state, decided log records applied, and no
+// recovery in progress. Crashed nodes are excluded.
+func (cl *Cluster) Quiesced() bool {
+	for _, n := range cl.nodes {
+		if !n.alive {
+			continue
+		}
+		for _, at := range n.app {
+			if at.outstanding > 0 || len(at.retryq) > 0 {
+				return false
+			}
+		}
+		if len(n.ctxns) > 0 || len(n.remoteLocks) > 0 || n.log.pending() > 0 ||
+			len(n.pins) > 0 || len(n.recov) > 0 || len(n.pendingDecide) > 0 {
+			return false
+		}
+		for _, p := range n.prims {
+			if !p.ready {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Drain stops load and runs until quiesced (or the deadline elapses),
+// reporting success.
+func (cl *Cluster) Drain(deadline sim.Time) bool {
+	cl.StopLoad()
+	end := cl.eng.Now() + deadline
+	for cl.eng.Now() < end {
+		if cl.Quiesced() {
+			return true
+		}
+		cl.Run(100 * sim.Microsecond)
+	}
+	return cl.Quiesced()
+}
+
+// CheckInvariants validates every node's store and index structures plus
+// cross-replica consistency for quiesced clusters (call after StopLoad and
+// a drain period).
+func (cl *Cluster) CheckInvariants() error {
+	for _, n := range cl.nodes {
+		if !n.alive {
+			continue
+		}
+		for s, p := range n.prims {
+			if err := p.data.Hash.CheckInvariants(); err != nil {
+				return fmt.Errorf("node %d primary of %d: %w", n.id, s, err)
+			}
+			if err := p.data.BTree.CheckInvariants(); err != nil {
+				return fmt.Errorf("node %d primary btree of %d: %w", n.id, s, err)
+			}
+			if err := p.index.CheckInvariants(); err != nil {
+				return fmt.Errorf("node %d index of %d: %w", n.id, s, err)
+			}
+		}
+		for s, b := range n.backups {
+			if err := b.Hash.CheckInvariants(); err != nil {
+				return fmt.Errorf("node %d backup of %d: %w", n.id, s, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicasConsistent verifies (for a fully drained cluster) that every
+// backup replica holds exactly the primary's data at the same versions.
+// Core correctness tests rely on it.
+func (cl *Cluster) ReplicasConsistent() error {
+	for s := 0; s < cl.cfg.Nodes; s++ {
+		pn := cl.nodes[cl.primaryNode(s)]
+		if !pn.alive {
+			continue // shard lost every replica
+		}
+		prim := pn.prim(s)
+		if prim == nil {
+			return fmt.Errorf("shard %d: view primary %d does not serve it", s, pn.id)
+		}
+		for _, b := range cl.viewBackups(s) {
+			bk := cl.nodes[b].backups[s]
+			if err := storesEqual(prim.data, bk); err != nil {
+				return fmt.Errorf("shard %d backup at node %d: %w", s, b, err)
+			}
+		}
+	}
+	return nil
+}
+
+func storesEqual(a, b *ShardData) error {
+	if a.Hash.Len() != b.Hash.Len() {
+		return fmt.Errorf("hash sizes differ: %d vs %d", a.Hash.Len(), b.Hash.Len())
+	}
+	if a.BTree.Len() != b.BTree.Len() {
+		return fmt.Errorf("btree sizes differ: %d vs %d", a.BTree.Len(), b.BTree.Len())
+	}
+	var err error
+	a.Hash.ForEach(func(key uint64, version uint64, value []byte) bool {
+		r := b.Hash.Lookup(key)
+		if !r.Found || r.Version != version || string(r.Value) != string(value) {
+			err = fmt.Errorf("hash key %d diverges (found=%v v=%d vs %d)", key, r.Found, r.Version, version)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	a.BTree.AscendRange(0, ^uint64(0), func(it btree.Item) bool {
+		got, ok := b.BTree.Get(it.Key)
+		if !ok || got.Version != it.Version || string(got.Value) != string(it.Value) {
+			err = fmt.Errorf("btree key %d diverges", it.Key)
+			return false
+		}
+		return true
+	})
+	return err
+}

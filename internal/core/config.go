@@ -1,0 +1,115 @@
+// Package core implements the Xenic transaction system (§4): the
+// coordinator-side NIC state machine with function shipping and multi-hop
+// OCC, the server-side NIC handlers over the co-designed data store, the
+// host-side application threads with the local-transaction fast path, and
+// the Robinhood worker threads that apply logged write sets.
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/membership"
+	"xenic/internal/model"
+	"xenic/internal/nicrt"
+)
+
+// Features are the protocol-level toggles evaluated in §5.7 (Figure 9),
+// plus the runtime toggles forwarded to the NIC runtime.
+type Features struct {
+	// SmartRemoteOps combines read+lock into one EXECUTE per shard and
+	// validates per shard. Off: DrTM+H-style separate per-key read, lock,
+	// and validate requests (the "Xenic baseline" of §5.7).
+	SmartRemoteOps bool
+	// NICExecution runs annotated transactions' execution functions on the
+	// coordinator-side NIC (§4.2.2). Off: every round trips to the host.
+	NICExecution bool
+	// MultiHopOCC ships eligible transactions to a remote primary NIC and
+	// routes backup acks straight to the coordinator (§4.2.3).
+	MultiHopOCC bool
+	// EthAggregation / AsyncDMA are the runtime optimizations (§4.3).
+	EthAggregation bool
+	AsyncDMA       bool
+}
+
+// AllFeatures enables the full Xenic design.
+func AllFeatures() Features {
+	return Features{
+		SmartRemoteOps: true, NICExecution: true, MultiHopOCC: true,
+		EthAggregation: true, AsyncDMA: true,
+	}
+}
+
+// BaselineFeatures disables every optimization (the §5.7 starting point).
+func BaselineFeatures() Features { return Features{} }
+
+func (f Features) runtime() nicrt.Features {
+	return nicrt.Features{EthAggregation: f.EthAggregation, AsyncDMA: f.AsyncDMA}
+}
+
+// Config assembles a Xenic cluster.
+type Config struct {
+	// Nodes is the server count (one primary shard per node).
+	Nodes int
+	// Replication is the total replicas per shard (primary + backups);
+	// the evaluation uses 3 (§5.2).
+	Replication int
+	// AppThreads / WorkerThreads are host coordinator-application and
+	// Robinhood-worker thread counts per node (§5.6).
+	AppThreads    int
+	WorkerThreads int
+	// NICCores is the number of active SmartNIC cores per node.
+	NICCores int
+	// Outstanding is the closed-loop transaction window per app thread.
+	Outstanding int
+	// MaxRetries bounds OCC retries per transaction before reporting
+	// failure to the application (it then counts as aborted).
+	MaxRetries int
+	Features   Features
+	Params     model.Params
+	// Membership tunes the lease-based cluster manager (§4.2.1).
+	Membership membership.Config
+	Seed       int64
+}
+
+// DefaultConfig mirrors the paper's testbed: 6 servers, 3-way replication.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:         6,
+		Replication:   3,
+		AppThreads:    4,
+		WorkerThreads: 3,
+		NICCores:      16,
+		Outstanding:   8,
+		MaxRetries:    64,
+		Features:      AllFeatures(),
+		Params:        model.Default(),
+		Membership:    membership.DefaultConfig(),
+		Seed:          1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("core: need >=2 nodes, have %d", c.Nodes)
+	}
+	if c.Replication < 1 || c.Replication > c.Nodes {
+		return fmt.Errorf("core: replication %d outside 1..%d", c.Replication, c.Nodes)
+	}
+	if c.AppThreads < 1 || c.WorkerThreads < 1 || c.NICCores < 1 {
+		return fmt.Errorf("core: thread counts must be positive")
+	}
+	if c.Outstanding < 1 {
+		return fmt.Errorf("core: outstanding window must be positive")
+	}
+	return nil
+}
+
+// backupsOf lists the backup nodes of shard s: the next Replication-1
+// nodes in ring order.
+func (c Config) backupsOf(s int) []int {
+	out := make([]int, 0, c.Replication-1)
+	for i := 1; i < c.Replication; i++ {
+		out = append(out, (s+i)%c.Nodes)
+	}
+	return out
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/hostrt"
+	"xenic/internal/sim"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+)
+
+// This file implements the host side of a Xenic node: coordinator
+// application threads that generate transactions, run host-side execution
+// rounds, and handle completions (including the local-transaction fast path
+// of §4.2.4), and Robinhood worker threads that apply logged write sets to
+// the primary and backup stores (§4.2 step 7).
+
+// appThread is the per-application-thread coordinator state.
+type appThread struct {
+	node        *Node
+	id          int
+	seq         uint32
+	inflight    map[uint64]*appTxn
+	outstanding int
+	retryq      []*appTxn
+}
+
+// appTxn tracks one application transaction across retries.
+type appTxn struct {
+	id        uint64
+	desc      *txnmodel.TxnDesc
+	start     sim.Time
+	retries   int
+	notBefore sim.Time
+}
+
+// workerBatch bounds log records applied per worker iteration.
+const workerBatch = 16
+
+// hostHandler dispatches messages delivered to host threads.
+func (n *Node) hostHandler(t *hostrt.Thread, src int, m wire.Msg) {
+	if !n.alive {
+		return
+	}
+	switch m := m.(type) {
+	case *wire.ReadReturn:
+		n.hostExec(t, m)
+	case *wire.TxnDone:
+		n.hostDone(t, m)
+	default:
+		panic(fmt.Sprintf("core: host %d: unexpected message %T", n.id, m))
+	}
+}
+
+// hostRouter steers NIC->host messages to the owning application thread.
+func (n *Node) hostRouter(m wire.Msg) int {
+	return txnThread(m.(interface{ GetTxnID() uint64 }).GetTxnID())
+}
+
+// hostIdle is the per-iteration hook: application threads submit load and
+// retries; worker threads drain the log.
+func (n *Node) hostIdle(t *hostrt.Thread) bool {
+	if !n.alive {
+		return false
+	}
+	if t.ID() < n.cl.cfg.AppThreads {
+		return n.appIdle(t, n.app[t.ID()])
+	}
+	return n.workerIdle(t)
+}
+
+// appIdle retries backed-off transactions and tops up the closed-loop
+// window.
+func (n *Node) appIdle(t *hostrt.Thread, at *appThread) bool {
+	did := false
+	// Retries whose backoff expired. Snapshot the queue first: submitting
+	// can synchronously abort and re-append to at.retryq.
+	q := at.retryq
+	at.retryq = nil
+	for _, tx := range q {
+		if tx.notBefore <= t.Now() {
+			did = true
+			n.submit(t, at, tx)
+		} else {
+			at.retryq = append(at.retryq, tx)
+		}
+	}
+	if len(at.retryq) > 0 {
+		// Ensure a wake-up when the earliest backoff expires.
+		earliest := at.retryq[0].notBefore
+		for _, tx := range at.retryq[1:] {
+			if tx.notBefore < earliest {
+				earliest = tx.notBefore
+			}
+		}
+		t.At(earliest-t.Now(), t.Wake)
+	}
+	if !n.cl.loadOn {
+		return did
+	}
+	for at.outstanding < n.cl.cfg.Outstanding {
+		did = true
+		desc := n.cl.gen.Next(n.id, at.id, t.Rand())
+		tx := &appTxn{
+			id:    txnID(n.id, at.id, at.nextSeq()),
+			desc:  desc,
+			start: t.Now(),
+		}
+		at.inflight[tx.id] = tx
+		at.outstanding++
+		if desc.GenCost > 0 {
+			t.Charge(desc.GenCost)
+		}
+		n.submit(t, at, tx)
+	}
+	return did
+}
+
+func (at *appThread) nextSeq() uint32 {
+	at.seq++
+	return at.seq
+}
+
+// allLocal reports whether every key of d is served by this node in the
+// current view.
+func (n *Node) allLocal(d *txnmodel.TxnDesc) bool {
+	for _, k := range d.ReadKeys {
+		if n.primaryNode(n.place().ShardOf(k)) != n.id {
+			return false
+		}
+	}
+	for _, k := range d.WriteKeys() {
+		if n.primaryNode(n.place().ShardOf(k)) != n.id {
+			return false
+		}
+	}
+	return true
+}
+
+// submit launches (or relaunches) a transaction.
+func (n *Node) submit(t *hostrt.Thread, at *appThread, tx *appTxn) {
+	if n.allLocal(tx.desc) {
+		n.submitLocal(t, at, tx)
+		return
+	}
+	n.submitRemote(t, tx)
+}
+
+// submitRemote hands the transaction to the coordinator NIC.
+func (n *Node) submitRemote(t *hostrt.Thread, tx *appTxn) {
+	d := tx.desc
+	req := &wire.TxnRequest{
+		Header:    wire.Header{TxnID: tx.id, Src: uint8(n.id)},
+		FnID:      d.FnID,
+		ReadKeys:  d.ReadKeys,
+		WriteKeys: d.UpdateKeys,
+		WriteSet:  n.observeBlind(t, d),
+		ExecState: d.State,
+	}
+	if d.NICExec {
+		req.Flags |= wire.FlagNICExec
+	}
+	t.Send(req)
+}
+
+// observeBlind stamps blind writes with their currently observed versions.
+// B+tree blind writes (coordinator-local) are read at the host here; hash
+// blind writes keep version 0 — their primaries report versions at lock
+// time.
+func (n *Node) observeBlind(t *hostrt.Thread, d *txnmodel.TxnDesc) []wire.KV {
+	if len(d.BlindWrites) == 0 {
+		return nil
+	}
+	out := make([]wire.KV, len(d.BlindWrites))
+	copy(out, d.BlindWrites)
+	for i := range out {
+		if !n.place().IsBTree(out[i].Key) {
+			continue
+		}
+		t.Charge(n.cl.cfg.Params.HostBTreeOp)
+		_, ver, _ := n.prim(n.place().ShardOf(out[i].Key)).data.Read(out[i].Key)
+		out[i].Version = ver
+	}
+	return out
+}
+
+// submitLocal runs the local-transaction fast path (§4.2.4): optimistic
+// host-side execution against the host store; read-only transactions
+// complete entirely at the host, write transactions send their validated
+// state to the NIC for replication.
+func (n *Node) submitLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
+	d := tx.desc
+	reads := make([]wire.KV, 0, len(d.ReadKeys)+len(d.UpdateKeys)+len(d.BlindWrites))
+	readVers := make([]wire.KeyVer, 0, len(d.ReadKeys))
+	for _, k := range d.ReadKeys {
+		v, ver, _ := n.readLocal(t, k)
+		reads = append(reads, wire.KV{Key: k, Version: ver, Value: v})
+		readVers = append(readVers, wire.KeyVer{Key: k, Version: ver})
+	}
+	updateVers := map[uint64]uint64{}
+	for _, k := range d.UpdateKeys {
+		v, ver, _ := n.readLocal(t, k)
+		reads = append(reads, wire.KV{Key: k, Version: ver, Value: v})
+		updateVers[k] = ver
+	}
+	for _, kv := range d.BlindWrites {
+		_, ver, _ := n.readLocal(t, kv.Key)
+		reads = append(reads, wire.KV{Key: kv.Key, Version: ver})
+		updateVers[kv.Key] = ver
+	}
+
+	var writes []wire.KV
+	if d.FnID != 0 {
+		fn, ok := n.cl.reg.Get(d.FnID)
+		if !ok {
+			panic(fmt.Sprintf("core: unknown fn %d", d.FnID))
+		}
+		for round := 0; ; round++ {
+			t.Charge(fn.HostCost)
+			res := fn.Run(d.State, reads)
+			if res.Abort {
+				n.completeTxn(t, at, tx, wire.StatusAbortMissing, nil)
+				return
+			}
+			if len(res.MoreReads) == 0 {
+				writes = res.Writes
+				break
+			}
+			for _, k := range res.MoreReads {
+				if n.primaryNode(n.place().ShardOf(k)) != n.id {
+					// The execution chased a pointer off this node: the
+					// transaction is not local after all. Restart it on
+					// the distributed path (nothing is locked yet).
+					n.submitRemote(t, tx)
+					return
+				}
+			}
+			for _, k := range res.MoreReads {
+				v, ver, _ := n.readLocal(t, k)
+				reads = append(reads, wire.KV{Key: k, Version: ver, Value: v})
+				readVers = append(readVers, wire.KeyVer{Key: k, Version: ver})
+			}
+		}
+	}
+
+	if d.ReadOnly() && len(writes) == 0 {
+		// Validate at the host table and finish with no PCIe traffic.
+		for _, rv := range readVers {
+			t.Charge(n.cl.cfg.Params.HostStoreOp)
+			_, ver, _ := n.prim(n.place().ShardOf(rv.Key)).data.Read(rv.Key)
+			if ver != rv.Version {
+				n.retryTxn(t, at, tx, wire.StatusAbortVersion)
+				return
+			}
+		}
+		n.completeTxn(t, at, tx, wire.StatusOK, reads)
+		return
+	}
+
+	// Assemble the full write set with observed versions; the NIC locks,
+	// validates, and replicates.
+	full := append(writes, d.BlindWrites...)
+	out := make([]wire.KV, len(full))
+	for i, kv := range full {
+		ver, ok := updateVers[kv.Key]
+		if !ok {
+			t.Charge(n.cl.cfg.Params.HostStoreOp)
+			_, ver, _ = n.readLocal(t, kv.Key)
+		}
+		out[i] = wire.KV{Key: kv.Key, Version: ver, Value: kv.Value}
+	}
+	t.Send(&wire.TxnRequest{
+		Header:        wire.Header{TxnID: tx.id, Src: uint8(n.id)},
+		Flags:         wire.FlagLocal,
+		WriteSet:      out,
+		LocalReadVers: readVers,
+	})
+}
+
+// readLocal reads a key from one of this node's primary replicas, charging
+// the appropriate host cost.
+func (n *Node) readLocal(t *hostrt.Thread, key uint64) ([]byte, uint64, bool) {
+	shard := n.place().ShardOf(key)
+	p := n.prim(shard)
+	if p == nil {
+		panic(fmt.Sprintf("core: node %d: local read of remote key %d", n.id, key))
+	}
+	if n.place().IsBTree(key) {
+		t.Charge(n.cl.cfg.Params.HostBTreeOp)
+	} else {
+		t.Charge(n.cl.cfg.Params.HostStoreOp)
+	}
+	return p.data.Read(key)
+}
+
+// hostExec runs one host-side execution round (§4.2 step 3).
+func (n *Node) hostExec(t *hostrt.Thread, m *wire.ReadReturn) {
+	at := n.app[txnThread(m.TxnID)]
+	tx, ok := at.inflight[m.TxnID]
+	if !ok {
+		return
+	}
+	d := tx.desc
+	fn, ok := n.cl.reg.Get(d.FnID)
+	if d.FnID == 0 || !ok {
+		// No function: blind writes only.
+		t.Send(&wire.WriteSet{Header: wire.Header{TxnID: m.TxnID, Src: uint8(n.id)}})
+		return
+	}
+	t.Charge(fn.HostCost)
+	res := fn.Run(d.State, m.Items)
+	t.Send(&wire.WriteSet{
+		Header:    wire.Header{TxnID: m.TxnID, Src: uint8(n.id)},
+		Writes:    res.Writes,
+		MoreReads: res.MoreReads,
+		Abort:     res.Abort,
+	})
+}
+
+// hostDone handles a transaction outcome.
+func (n *Node) hostDone(t *hostrt.Thread, m *wire.TxnDone) {
+	at := n.app[txnThread(m.TxnID)]
+	tx, ok := at.inflight[m.TxnID]
+	if !ok {
+		return
+	}
+	if m.Status == wire.StatusOK {
+		n.completeTxn(t, at, tx, wire.StatusOK, m.ReadSet)
+		return
+	}
+	n.retryTxn(t, at, tx, m.Status)
+}
+
+// completeTxn records a final outcome and frees the window slot.
+func (n *Node) completeTxn(t *hostrt.Thread, at *appThread, tx *appTxn,
+	st wire.Status, reads []wire.KV) {
+
+	delete(at.inflight, tx.id)
+	at.outstanding--
+	if st == wire.StatusOK {
+		n.stats.Committed++
+		n.stats.UpdateKeysCommitted += int64(len(tx.desc.UpdateKeys))
+		if n.cl.gen.Measure(tx.desc) {
+			n.stats.Measured++
+			n.stats.Latency.Record(t.Now() - tx.start)
+		}
+	} else {
+		n.stats.Failed++
+	}
+	_ = reads
+}
+
+// retryTxn re-queues an aborted transaction with randomized backoff, up to
+// the retry cap.
+func (n *Node) retryTxn(t *hostrt.Thread, at *appThread, tx *appTxn, st wire.Status) {
+	n.stats.Aborts++
+	tx.retries++
+	if tx.retries > n.cl.cfg.MaxRetries {
+		n.completeTxn(t, at, tx, st, nil)
+		return
+	}
+	delete(at.inflight, tx.id)
+	// A retry is a fresh transaction attempt with a new id.
+	tx.id = txnID(n.id, at.id, at.nextSeq())
+	at.inflight[tx.id] = tx
+	backoff := sim.Time(t.Rand().Int63n(int64(5 * sim.Microsecond)))
+	tx.notBefore = t.Now() + backoff
+	at.retryq = append(at.retryq, tx)
+	t.At(backoff, t.Wake)
+}
+
+// workerIdle applies visible log records: backup records to backup
+// replicas, commit records to the primary (acking so the NIC can unpin).
+func (n *Node) workerIdle(t *hostrt.Thread) bool {
+	did := false
+	for i := 0; i < workerBatch; i++ {
+		r := n.log.claim()
+		if r == nil {
+			break
+		}
+		did = true
+		for _, kv := range r.writes {
+			if n.place().IsBTree(kv.Key) {
+				t.Charge(n.cl.cfg.Params.HostBTreeOp)
+			} else {
+				t.Charge(n.cl.cfg.Params.HostStoreOp)
+			}
+			switch r.kind {
+			case recBackup:
+				b, ok := n.backups[r.shard]
+				if !ok {
+					panic(fmt.Sprintf("core: node %d applying backup record for shard %d", n.id, r.shard))
+				}
+				b.Apply(kv)
+			case recCommit:
+				p := n.prim(r.shard)
+				if p == nil {
+					panic(fmt.Sprintf("core: node %d applying commit record for shard %d", n.id, r.shard))
+				}
+				p.data.Apply(kv)
+			}
+		}
+		if r.kind == recCommit {
+			t.Send(&wire.LogApplyAck{
+				Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
+				Seq:    r.seq,
+			})
+		}
+	}
+	return did
+}
+
+// wakeWorkers nudges the worker threads when the NIC appends log records.
+func (n *Node) wakeWorkers() {
+	for i := n.cl.cfg.AppThreads; i < n.host.Threads(); i++ {
+		n.host.Thread(i).Wake()
+	}
+}

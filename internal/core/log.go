@@ -1,0 +1,156 @@
+package core
+
+import "xenic/internal/wire"
+
+// recordKind distinguishes backup log records from primary commit records.
+type recordKind uint8
+
+const (
+	recBackup recordKind = iota // replicated write set at a backup (§4.2 step 5)
+	recCommit                   // committed write set at the primary (§4.2 step 6)
+)
+
+// logRecord is one entry in a node's host-memory log, written by the NIC
+// via DMA and applied by host worker threads off the critical path.
+//
+// Backup records are applied only after the transaction's commit point: the
+// coordinator piggybacks LogCommit notifications once every backup ack is
+// in (FaRM applies at log truncation for the same reason). Undecided
+// records stay unapplied so recovery (§4.2.1) can commit or drop them.
+type logRecord struct {
+	seq       uint64
+	kind      recordKind
+	txn       uint64
+	shard     int // shard the writes belong to
+	writes    []wire.KV
+	committed bool
+	dropped   bool
+	applied   bool
+}
+
+// recordBytes is the DMA-write size of a record: 8B seq + 1B kind + 8B txn
+// + 1B shard plus the encoded write set.
+func recordBytes(writes []wire.KV) int {
+	n := 18
+	for _, kv := range writes {
+		n += 8 + 8 + 2 + len(kv.Value)
+	}
+	return n
+}
+
+// hostLog is a node's log region in host memory. Records become visible to
+// host pollers when the NIC's DMA write completes; worker threads claim
+// decided records in order.
+type hostLog struct {
+	records []logRecord
+	nextSeq uint64
+	// byTxn indexes undecided backup records: (txn, shard) -> record index.
+	byTxn map[txnShard][]int
+	// ready queues indices of decided, unapplied records.
+	ready []int
+	rhead int
+}
+
+type txnShard struct {
+	txn   uint64
+	shard int
+}
+
+func newHostLog() *hostLog {
+	return &hostLog{byTxn: map[txnShard][]int{}}
+}
+
+// append makes a completed record visible and returns its sequence number.
+// Commit records are decided by definition; backup records await their
+// LogCommit (or a recovery decision).
+func (l *hostLog) append(kind recordKind, txn uint64, shard int, writes []wire.KV) uint64 {
+	l.nextSeq++
+	rec := logRecord{seq: l.nextSeq, kind: kind, txn: txn, shard: shard, writes: writes}
+	idx := len(l.records)
+	if kind == recCommit {
+		rec.committed = true
+		l.records = append(l.records, rec)
+		l.ready = append(l.ready, idx)
+		return l.nextSeq
+	}
+	l.records = append(l.records, rec)
+	k := txnShard{txn: txn, shard: shard}
+	l.byTxn[k] = append(l.byTxn[k], idx)
+	return l.nextSeq
+}
+
+// markCommitted moves a transaction's backup records for shard to the
+// ready queue. Idempotent; unknown (txn, shard) is a no-op (the LogCommit
+// may arrive before the record's DMA completes — the coordinator only
+// sends it after the ack, so in practice the record exists).
+func (l *hostLog) markCommitted(txn uint64, shard int) {
+	k := txnShard{txn: txn, shard: shard}
+	for _, idx := range l.byTxn[k] {
+		r := &l.records[idx]
+		if !r.committed && !r.dropped {
+			r.committed = true
+			l.ready = append(l.ready, idx)
+		}
+	}
+	delete(l.byTxn, k)
+}
+
+// drop discards a transaction's undecided backup records for shard
+// (recovery decided abort).
+func (l *hostLog) drop(txn uint64, shard int) {
+	k := txnShard{txn: txn, shard: shard}
+	for _, idx := range l.byTxn[k] {
+		l.records[idx].dropped = true
+	}
+	delete(l.byTxn, k)
+}
+
+// has reports whether the log holds a backup record for (txn, shard) —
+// decided or not — and returns its writes (recovery queries).
+func (l *hostLog) has(txn uint64, shard int) ([]wire.KV, bool) {
+	if idxs, ok := l.byTxn[txnShard{txn: txn, shard: shard}]; ok && len(idxs) > 0 {
+		return l.records[idxs[0]].writes, true
+	}
+	// Already decided records still count as held.
+	for i := range l.records {
+		r := &l.records[i]
+		if r.kind == recBackup && r.txn == txn && r.shard == shard && !r.dropped {
+			return r.writes, true
+		}
+	}
+	return nil, false
+}
+
+// undecided lists (txn, writes) of undecided backup records for shard.
+func (l *hostLog) undecided(shard int) []txnShard {
+	var out []txnShard
+	for k := range l.byTxn {
+		if k.shard == shard {
+			out = append(out, k)
+		}
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].txn < out[j-1].txn; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// claim hands the next decided, unapplied record to a worker, or nil.
+func (l *hostLog) claim() *logRecord {
+	for l.rhead < len(l.ready) {
+		r := &l.records[l.ready[l.rhead]]
+		l.rhead++
+		if r.dropped || r.applied {
+			continue
+		}
+		r.applied = true
+		return r
+	}
+	return nil
+}
+
+// pending reports decided records awaiting application.
+func (l *hostLog) pending() int { return len(l.ready) - l.rhead }

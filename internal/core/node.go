@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/hostrt"
+	"xenic/internal/metrics"
+	"xenic/internal/nicrt"
+	"xenic/internal/sim"
+	"xenic/internal/store/nicindex"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+)
+
+// txnID packs (node, thread, sequence) so ids are globally unique and the
+// host router can find the owning application thread.
+func txnID(node, thread int, seq uint32) uint64 {
+	return uint64(node)<<40 | uint64(thread)<<32 | uint64(seq)
+}
+
+func txnThread(id uint64) int { return int(id>>32) & 0xff }
+func txnNode(id uint64) int   { return int(id >> 40) }
+
+// Stats aggregates one node's transaction outcomes.
+type Stats struct {
+	Committed int64 // committed transactions
+	Measured  int64 // committed transactions the workload counts (e.g. new orders)
+	Failed    int64 // transactions abandoned after MaxRetries
+	Aborts    int64 // abort events (each triggers a retry until the cap)
+	// UpdateKeysCommitted counts update keys across committed transactions;
+	// correctness tests compare it against observable state (e.g. counter
+	// sums) to detect lost or duplicated updates.
+	UpdateKeysCommitted int64
+	Latency             *metrics.Histogram
+}
+
+// primaryShard is one shard this node currently serves as primary: its data
+// replica and the SmartNIC index over it. Nodes start with one (their own
+// shard) and may adopt more through recovery promotion (§4.2.1). An
+// adopted shard is gated (!ready) until its log scan completes.
+type primaryShard struct {
+	data  *ShardData
+	index *nicindex.Index
+	ready bool
+}
+
+// Node is one Xenic server: host threads, the on-path SmartNIC, the
+// co-designed store, and the host-memory log.
+type Node struct {
+	cl   *Cluster
+	id   int
+	host *hostrt.Host
+	nic  *nicrt.NIC
+
+	prims   map[int]*primaryShard
+	backups map[int]*ShardData
+	log     *hostLog
+	pins    map[uint64][]uint64 // commit-record seq -> (shard, pinned keys)
+	pinIdx  map[uint64]*nicindex.Index
+
+	ctxns       map[uint64]*ctxn    // coordinator-side NIC transaction state
+	remoteLocks map[uint64][]uint64 // shipped txns' lock sets held here as remote primary
+	app         []*appThread
+
+	recov map[txnShard]*recovering // in-flight recovery decisions
+	// pendingDecide holds promoted-shard records whose (alive) coordinator
+	// has yet to announce the outcome; their write keys stay locked.
+	pendingDecide map[txnShard][]uint64
+
+	alive bool // false after failure injection
+	stats Stats
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// Stats returns a pointer to the node's counters (live).
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// NIC returns the node's SmartNIC.
+func (n *Node) NIC() *nicrt.NIC { return n.nic }
+
+// Host returns the node's host runtime.
+func (n *Node) Host() *hostrt.Host { return n.host }
+
+// Index returns the SmartNIC caching index over the node's own shard.
+func (n *Node) Index() *nicindex.Index { return n.prims[n.id].index }
+
+// Primary returns the node's replica of its own shard.
+func (n *Node) Primary() *ShardData { return n.prims[n.id].data }
+
+// PrimaryOf returns the node's replica of shard s if it currently serves
+// it as primary (its own shard, or an adopted one).
+func (n *Node) PrimaryOf(s int) (*ShardData, bool) {
+	p, ok := n.prims[s]
+	if !ok {
+		return nil, false
+	}
+	return p.data, true
+}
+
+// Backup returns this node's replica of shard s, or nil.
+func (n *Node) Backup(s int) *ShardData { return n.backups[s] }
+
+// prim returns the serving state for shard s, or nil.
+func (n *Node) prim(s int) *primaryShard { return n.prims[s] }
+
+// place is the cluster key placement.
+func (n *Node) place() txnmodel.Placement { return n.cl.place }
+
+// nicHandler dispatches protocol messages arriving at NIC cores.
+func (n *Node) nicHandler(c *nicrt.Core, src int, m wire.Msg) {
+	if !n.alive {
+		return // crashed node drops everything
+	}
+	if debugTxn != 0 && m.(interface{ GetTxnID() uint64 }).GetTxnID() == debugTxn {
+		fmt.Printf("DBG t=%v node=%d src=%d msg=%v\n", n.cl.eng.Now(), n.id, src, m.Type())
+	}
+	switch m := m.(type) {
+	// Coordinator side.
+	case *wire.TxnRequest:
+		n.coordStart(c, m)
+	case *wire.WriteSet:
+		n.coordWriteSet(c, m)
+	case *wire.ExecuteResp:
+		n.coordExecuteResp(c, m)
+	case *wire.ValidateResp:
+		n.coordValidateResp(c, m)
+	case *wire.LogResp:
+		n.coordLogResp(c, m)
+	case *wire.CommitResp:
+		n.coordCommitResp(c, m)
+	case *wire.ShipResult:
+		n.coordShipResult(c, m)
+	case *wire.LogApplyAck:
+		n.handleLogAck(c, m)
+	// Server side.
+	case *wire.Execute:
+		n.handleExecute(c, src, m)
+	case *wire.Validate:
+		n.handleValidate(c, src, m)
+	case *wire.Log:
+		n.handleLog(c, src, m)
+	case *wire.Commit:
+		n.handleCommit(c, src, m)
+	case *wire.Abort:
+		n.handleAbort(c, m)
+	case *wire.ShipExec:
+		n.handleShipExec(c, src, m)
+	// Replication bookkeeping / recovery.
+	case *wire.LogCommit:
+		n.handleLogCommit(c, m)
+	case *wire.RecoveryQuery:
+		n.handleRecoveryQuery(c, src, m)
+	case *wire.RecoveryResp:
+		n.handleRecoveryResp(c, m)
+	case *wire.RecoveryDecide:
+		n.handleRecoveryDecide(c, m)
+	default:
+		panic(fmt.Sprintf("core: node %d: unexpected message %T", n.id, m))
+	}
+}
+
+// debugTxn enables message tracing for one transaction id (tests only).
+var debugTxn uint64
+
+// sendOrLoop sends m to node dst, or re-dispatches locally when dst is this
+// node (e.g. a shipped transaction's Log whose RespondTo is a backup that
+// is also the coordinator).
+func (n *Node) sendOrLoop(c *nicrt.Core, dst int, m wire.Msg) {
+	if dst == n.id {
+		c.Charge(n.cl.cfg.Params.NICMsgHandle)
+		n.nicHandler(c, n.id, m)
+		return
+	}
+	c.Send(dst, m)
+}
+
+// handleLogAck unpins the cache entries of an applied commit record.
+func (n *Node) handleLogAck(c *nicrt.Core, m *wire.LogApplyAck) {
+	keys, ok := n.pins[m.Seq]
+	if !ok {
+		return // backup record or already processed
+	}
+	idx := n.pinIdx[m.Seq]
+	delete(n.pins, m.Seq)
+	delete(n.pinIdx, m.Seq)
+	c.Charge(n.cl.cfg.Params.NICIndexOp)
+	for _, k := range keys {
+		idx.Unpin(k)
+	}
+}
+
+// handleLogCommit marks a backup record decided so host workers apply it.
+// If this node was promoted to primary for the shard while the decision was
+// in flight, the record's recovery locks release through a full commit.
+func (n *Node) handleLogCommit(c *nicrt.Core, m *wire.LogCommit) {
+	c.Charge(n.cl.cfg.Params.NICIndexOp)
+	shard := int(m.Shard)
+	ts := txnShard{txn: m.TxnID, shard: shard}
+	if keys, ok := n.pendingDecide[ts]; ok {
+		delete(n.pendingDecide, ts)
+		writes, has := n.log.has(m.TxnID, shard)
+		n.log.markCommitted(m.TxnID, shard)
+		if has {
+			n.commitShard(c, shard, m.TxnID, writes, keys, func() {})
+		}
+		n.wakeWorkers()
+		return
+	}
+	n.log.markCommitted(m.TxnID, shard)
+	n.wakeWorkers()
+}
+
+// chargeIndexOps charges k NIC index operations to the core.
+func (n *Node) chargeIndexOps(c *nicrt.Core, k int) {
+	c.Charge(sim.Time(k) * n.cl.cfg.Params.NICIndexOp)
+}

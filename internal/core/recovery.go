@@ -1,0 +1,436 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/membership"
+	"xenic/internal/nicrt"
+	"xenic/internal/store/nicindex"
+	"xenic/internal/wire"
+)
+
+// This file implements Xenic's reconfiguration and recovery (§4.2.1),
+// following FaRM's design: lock state lives only in SmartNIC memory and is
+// rebuilt on recovery; a failed primary's first surviving backup is
+// promoted; the promoted node scans its log for transactions not yet known
+// committed and, for each, asks the shard's other surviving replicas —
+// a transaction whose record every surviving replica holds reached its
+// commit point and is committed, any other is aborted. The shard serves new
+// transactions only after every recovering transaction is decided.
+//
+// Surviving coordinators additionally sweep locks held by transactions
+// whose coordinator died, deciding each by the same rule (an
+// acked-committed transaction has records at every backup, so its writes
+// are recovered even if the coordinator crashed before the COMMIT phase).
+
+// recovering tracks one undecided transaction during a log scan or lock
+// sweep.
+type recovering struct {
+	txn      uint64
+	shard    int
+	expected int // outstanding RecoveryResp count
+	allHave  bool
+	writes   []wire.KV // from a replica that holds the record
+	// lockedKeys are this primary's locks held by the transaction (lock
+	// sweep); nil during promotion scans.
+	lockedKeys []uint64
+	// promotion marks records recovered during shard adoption.
+	promotion bool
+}
+
+// onViewChange is the cluster-manager callback: update routing, then let
+// every surviving node react (abort in-flight work, adopt shards, sweep
+// orphaned locks).
+func (cl *Cluster) onViewChange(v membership.View) {
+	cl.view = v
+	for _, n := range cl.nodes {
+		if !n.alive {
+			continue
+		}
+		n := n
+		// React on a NIC core so the work is charged and can send messages.
+		n.nic.Inject(0, func(c *nicrt.Core) { n.handleViewChange(c, v) })
+	}
+}
+
+// handleViewChange runs on a NIC core of every surviving node.
+func (n *Node) handleViewChange(c *nicrt.Core, v membership.View) {
+	n.abortInFlight(c)
+	n.adoptShards(c, v)
+	n.sweepOrphanLocks(c, v)
+}
+
+// abortInFlight aborts every in-flight coordinated transaction: the view
+// changed under them (a replica or primary they depend on may be gone), so
+// they release their locks and retry in the new configuration.
+func (n *Node) abortInFlight(c *nicrt.Core) {
+	var ids []uint64
+	for id := range n.ctxns {
+		ids = append(ids, id)
+	}
+	sortUint64s(ids)
+	for _, id := range ids {
+		t := n.ctxns[id]
+		t.dead = true
+		if t.phase == phCommit {
+			// Already reported committed: in-flight COMMITs to surviving
+			// primaries complete on their own (they need no coordinator
+			// state); commits destined for the dead node are recovered
+			// from the backups' logs. Just drop the state.
+			delete(n.ctxns, t.id)
+			continue
+		}
+		if t.failed == wire.StatusOK {
+			t.failed = wire.StatusAbortLocked
+		}
+		if t.phase == phShipped && n.cl.nodes[t.shipTo].alive {
+			// Release any lock-all state at the remote primary.
+			c.Send(t.shipTo, &wire.Abort{Header: wire.Header{TxnID: t.id, Src: uint8(n.id)}})
+		}
+		var shards []int
+		for s := range t.locked {
+			shards = append(shards, s)
+		}
+		sortInts(shards)
+		for _, s := range shards {
+			keys := t.locked[s]
+			if len(keys) == 0 {
+				continue
+			}
+			dst := n.primaryNode(s)
+			if dst == n.id {
+				if p := n.prim(s); p != nil {
+					for _, k := range keys {
+						p.index.UnlockIf(k, t.id)
+					}
+				}
+				continue
+			}
+			if n.cl.nodes[dst].alive {
+				c.Send(dst, &wire.Abort{
+					Header:     wire.Header{TxnID: t.id, Src: uint8(n.id)},
+					LockedKeys: keys,
+				})
+			}
+		}
+		dropWrites := t.writes
+		if t.phase == phShipped && t.shipped != nil {
+			// The remote execution already fanned out its records.
+			dropWrites = t.shipped.Writes
+		}
+		if t.phase == phLog || (t.phase == phShipped && t.shipped != nil) {
+			// Replicas already hold this transaction's undecided records;
+			// tell every surviving replica — including a freshly promoted
+			// primary that held them as a backup — to drop (the
+			// transaction never reached its commit point).
+			for _, sw := range groupByShard(n.place(), dropWrites) {
+				for _, b := range n.cl.replicasOf(sw.shard) {
+					if b == n.id {
+						n.log.drop(t.id, sw.shard)
+						continue
+					}
+					c.Send(b, &wire.RecoveryDecide{
+						Header: wire.Header{TxnID: t.id, Src: uint8(n.id)},
+						Shard:  uint8(sw.shard), Commit: false,
+					})
+				}
+			}
+		}
+		n.finishTxn(c, t, t.failed)
+		delete(n.ctxns, t.id)
+	}
+	// Shipped transactions from dead coordinators may hold lock-all state
+	// here; their owners are swept below via the orphan-lock path, so also
+	// release remoteLocks owned by dead nodes.
+	var orphaned []uint64
+	for txn := range n.remoteLocks {
+		if !n.cl.nodes[txnNode(txn)].alive {
+			orphaned = append(orphaned, txn)
+		}
+	}
+	sortUint64s(orphaned)
+	for _, txn := range orphaned {
+		delete(n.remoteLocks, txn)
+		// The individual key locks are still in the index and will be
+		// swept by sweepOrphanLocks.
+	}
+}
+
+// adoptShards promotes this node to primary for shards the view assigns it
+// (§4.2.1): the backup replica becomes the serving copy, a fresh SmartNIC
+// index is built over it, and the shard is gated until the log scan
+// decides every recovering transaction.
+func (n *Node) adoptShards(c *nicrt.Core, v membership.View) {
+	for s := 0; s < len(v.PrimaryOf); s++ {
+		if v.PrimaryOf[s] != n.id || n.prims[s] != nil {
+			continue
+		}
+		data, ok := n.backups[s]
+		if !ok {
+			panic(fmt.Sprintf("core: node %d promoted for shard %d without a replica", n.id, s))
+		}
+		// Drain this replica's decided-but-unapplied records synchronously:
+		// promotion happens off the critical path (§4.2.1), and the serving
+		// copy must reflect every decided write before lookups begin.
+		for {
+			r := n.log.claim()
+			if r == nil {
+				break
+			}
+			n.applyRecord(c, r)
+		}
+		idx := nicindex.New(data.Hash, n.cl.cacheCap(), 1)
+		idx.SyncHints()
+		n.prims[s] = &primaryShard{data: data, index: idx, ready: false}
+
+		// Decide every undecided record for the shard. Records from DEAD
+		// coordinators are decided by querying the surviving replicas;
+		// records from coordinators that are still alive are left to their
+		// coordinator's in-flight LogCommit/drop — until it arrives, their
+		// write-set keys are locked in the new index so no transaction can
+		// observe their pre-commit values (§4.2.1: "the lock state is
+		// reconstructed... Once all locks are set, the shard can serve new
+		// transactions").
+		started := false
+		for _, ts := range n.log.undecided(s) {
+			writes, _ := n.log.has(ts.txn, s)
+			if !v.Alive[txnNode(ts.txn)] {
+				started = true
+				n.startRecovery(c, &recovering{
+					txn: ts.txn, shard: s, writes: writes, promotion: true,
+				}, v)
+				continue
+			}
+			var keys []uint64
+			for _, kv := range writes {
+				if idx.TryLock(kv.Key, ts.txn) {
+					keys = append(keys, kv.Key)
+				}
+			}
+			n.pendingDecide[ts] = keys
+		}
+		if !started {
+			n.finishPromotion(c, s)
+		}
+	}
+}
+
+// applyRecord applies one decided log record (promotion drain).
+func (n *Node) applyRecord(c *nicrt.Core, r *logRecord) {
+	for _, kv := range r.writes {
+		switch r.kind {
+		case recBackup:
+			if b, ok := n.backups[r.shard]; ok {
+				b.Apply(kv)
+			}
+		case recCommit:
+			if p := n.prim(r.shard); p != nil {
+				p.data.Apply(kv)
+			}
+		}
+	}
+	if r.kind == recCommit {
+		// Unpin directly: the host-worker ack path is being bypassed.
+		if keys, ok := n.pins[r.seq]; ok {
+			idx := n.pinIdx[r.seq]
+			delete(n.pins, r.seq)
+			delete(n.pinIdx, r.seq)
+			for _, k := range keys {
+				idx.Unpin(k)
+			}
+		}
+	}
+}
+
+// finishPromotion opens a recovered shard for service once no recovering
+// transactions remain.
+func (n *Node) finishPromotion(c *nicrt.Core, shard int) {
+	for _, r := range n.recov {
+		if r.shard == shard && r.promotion {
+			return // still deciding
+		}
+	}
+	p := n.prim(shard)
+	p.index.SyncHints()
+	p.ready = true
+	// Fence: surviving backups drop any undecided records this primary
+	// does not hold (those transactions cannot have committed).
+	for _, b := range n.cl.viewBackups(shard) {
+		if b != n.id {
+			c.Send(b, &wire.RecoveryDecide{
+				Header: wire.Header{TxnID: 0, Src: uint8(n.id)},
+				Shard:  uint8(shard), Commit: false,
+			})
+		}
+	}
+}
+
+// sweepOrphanLocks finds locks held by transactions whose coordinator died
+// and decides each by the recovery rule.
+func (n *Node) sweepOrphanLocks(c *nicrt.Core, v membership.View) {
+	var shards []int
+	for s := range n.prims {
+		shards = append(shards, s)
+	}
+	sortInts(shards)
+	for _, s := range shards {
+		p := n.prims[s]
+		orphans := map[uint64][]uint64{} // txn -> locked keys
+		var order []uint64
+		p.index.ForEachLocked(func(key, owner uint64) {
+			if n.cl.nodes[txnNode(owner)].alive {
+				return
+			}
+			if _, seen := orphans[owner]; !seen {
+				order = append(order, owner)
+			}
+			orphans[owner] = append(orphans[owner], key)
+		})
+		sortUint64s(order)
+		for _, txn := range order {
+			n.startRecovery(c, &recovering{
+				txn: txn, shard: s, lockedKeys: orphans[txn],
+			}, v)
+		}
+	}
+}
+
+// startRecovery queries the shard's other surviving replicas about a
+// dead coordinator's transaction. If this node is the only surviving
+// replica, its own record is the complete surviving evidence: a record
+// present at every surviving replica is committed (the FaRM rule —
+// transactions past validation with fully replicated records commit
+// during recovery); with no record anywhere, abort.
+func (n *Node) startRecovery(c *nicrt.Core, r *recovering, v membership.View) {
+	key := txnShard{txn: r.txn, shard: r.shard}
+	if _, dup := n.recov[key]; dup {
+		return
+	}
+	if r.writes == nil {
+		if w, ok := n.log.has(r.txn, r.shard); ok {
+			r.writes = w
+		}
+	}
+	r.allHave = true
+	for _, b := range n.cl.viewBackups(r.shard) {
+		if b == n.id {
+			continue
+		}
+		r.expected++
+		c.Send(b, &wire.RecoveryQuery{
+			Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
+			Shard:  uint8(r.shard),
+		})
+	}
+	n.recov[key] = r
+	if r.expected == 0 {
+		n.decideRecovery(c, r)
+	}
+}
+
+// handleRecoveryQuery answers from this node's log.
+func (n *Node) handleRecoveryQuery(c *nicrt.Core, src int, m *wire.RecoveryQuery) {
+	writes, has := n.log.has(m.TxnID, int(m.Shard))
+	c.Send(src, &wire.RecoveryResp{
+		Header: wire.Header{TxnID: m.TxnID, Src: uint8(n.id)},
+		Shard:  m.Shard, Has: has, Writes: writes,
+	})
+}
+
+// handleRecoveryResp accumulates replica answers.
+func (n *Node) handleRecoveryResp(c *nicrt.Core, m *wire.RecoveryResp) {
+	r, ok := n.recov[txnShard{txn: m.TxnID, shard: int(m.Shard)}]
+	if !ok {
+		return
+	}
+	if m.Has {
+		if r.writes == nil {
+			r.writes = m.Writes
+		}
+	} else {
+		r.allHave = false
+	}
+	r.expected--
+	if r.expected == 0 {
+		n.decideRecovery(c, r)
+	}
+}
+
+// decideRecovery commits or aborts a recovering transaction (§4.2.1: "each
+// recovering transaction is either aborted or fully applied to all
+// replicas before its associated locks are finally released").
+func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
+	delete(n.recov, txnShard{txn: r.txn, shard: r.shard})
+	commit := r.allHave && r.writes != nil
+	p := n.prim(r.shard)
+
+	if commit {
+		unlock := r.lockedKeys
+		if unlock == nil {
+			// Promotion scan: the fresh index holds no locks for it.
+			unlock = []uint64{}
+		}
+		n.log.markCommitted(r.txn, r.shard)
+		n.commitShard(c, r.shard, r.txn, r.writes, unlock, func() {})
+		n.wakeWorkers()
+	} else {
+		n.log.drop(r.txn, r.shard)
+		for _, k := range r.lockedKeys {
+			p.index.Unlock(k, r.txn)
+		}
+	}
+	// Tell surviving backups the fate of their records.
+	for _, b := range n.cl.viewBackups(r.shard) {
+		if b == n.id {
+			continue
+		}
+		c.Send(b, &wire.RecoveryDecide{
+			Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
+			Shard:  uint8(r.shard), Commit: commit,
+		})
+	}
+	if r.promotion {
+		n.finishPromotion(c, r.shard)
+	}
+}
+
+// handleRecoveryDecide applies a primary's decision at a backup — or, when
+// this node was itself promoted and is awaiting an alive coordinator's
+// decision, resolves the pending record. TxnID 0 is the promotion fence:
+// drop every remaining undecided record for the shard.
+func (n *Node) handleRecoveryDecide(c *nicrt.Core, m *wire.RecoveryDecide) {
+	shard := int(m.Shard)
+	if m.TxnID == 0 {
+		for _, ts := range n.log.undecided(shard) {
+			if _, pending := n.pendingDecide[ts]; pending {
+				continue // our own promoted shard's pending records
+			}
+			n.log.drop(ts.txn, shard)
+		}
+		return
+	}
+	ts := txnShard{txn: m.TxnID, shard: shard}
+	if keys, ok := n.pendingDecide[ts]; ok {
+		delete(n.pendingDecide, ts)
+		if p := n.prim(shard); p != nil {
+			for _, k := range keys {
+				p.index.UnlockIf(k, m.TxnID)
+			}
+		}
+		// fall through to record the decision below
+	}
+	if m.Commit {
+		n.log.markCommitted(m.TxnID, shard)
+		n.wakeWorkers()
+		return
+	}
+	n.log.drop(m.TxnID, shard)
+}
+
+func sortUint64s(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

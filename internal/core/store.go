@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/store/btree"
+	"xenic/internal/store/robinhood"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+)
+
+// ShardData is one replica of one shard: the partitioned hash table plus
+// the coordinator-local B+tree tables (TPC-C), both versioned.
+type ShardData struct {
+	Hash  *robinhood.Table
+	BTree *btree.Tree
+	place txnmodel.Placement
+}
+
+// newShardData builds an empty replica sized by spec.
+func newShardData(spec txnmodel.StoreSpec, place txnmodel.Placement) *ShardData {
+	cfg := robinhood.DefaultConfig(spec.HashSlots)
+	if spec.InlineValueSize > 0 {
+		cfg.InlineValueSize = spec.InlineValueSize
+	}
+	cfg.MaxDisplacement = spec.MaxDisplacement
+	return &ShardData{
+		Hash:  robinhood.New(cfg),
+		BTree: btree.New(),
+		place: place,
+	}
+}
+
+// Read fetches a key's value and version via local memory access.
+func (s *ShardData) Read(key uint64) (value []byte, version uint64, ok bool) {
+	if s.place.IsBTree(key) {
+		it, found := s.BTree.Get(key)
+		if !found {
+			return nil, 0, false
+		}
+		return it.Value, it.Version, true
+	}
+	r := s.Hash.Lookup(key)
+	if !r.Found {
+		return nil, 0, false
+	}
+	return r.Value, r.Version, true
+}
+
+// Apply installs a committed write (insert or update) with its version.
+// Applies are version-guarded: per-key versions are monotonic under write
+// locks, so a stale (lower-versioned) record arriving late is a no-op and
+// records may safely apply out of order across coordinators.
+func (s *ShardData) Apply(kv wire.KV) {
+	if s.place.IsBTree(kv.Key) {
+		if it, ok := s.BTree.Get(kv.Key); ok && it.Version >= kv.Version {
+			return
+		}
+		s.BTree.Insert(kv.Key, kv.Value, kv.Version)
+		return
+	}
+	if r := s.Hash.Lookup(kv.Key); r.Found && r.Version >= kv.Version {
+		return
+	}
+	if err := s.Hash.Insert(kv.Key, kv.Value, kv.Version); err != nil {
+		panic(fmt.Sprintf("core: shard apply: %v", err))
+	}
+}

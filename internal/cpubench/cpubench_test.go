@@ -1,0 +1,62 @@
+package cpubench
+
+import "testing"
+
+func TestCoremarkScoresMatchPaper(t *testing.T) {
+	rows := Rows()
+	multi := rows[0]
+	if multi.ARM < 4400 || multi.ARM > 4700 {
+		t.Fatalf("ARM multi Coremark %f, paper: 4530", multi.ARM)
+	}
+	if multi.Xeon < 14500 || multi.Xeon > 15100 {
+		t.Fatalf("Xeon multi Coremark %f, paper: 14771", multi.Xeon)
+	}
+	if multi.Ratio < 3.1 || multi.Ratio > 3.4 {
+		t.Fatalf("multi ratio %.2f, paper: 3.3", multi.Ratio)
+	}
+	single := rows[3]
+	if single.Ratio < 1.9 || single.Ratio > 2.2 {
+		t.Fatalf("single ratio %.2f, paper: 2.0", single.Ratio)
+	}
+}
+
+func TestCoremarkRatioMatchesModelParams(t *testing.T) {
+	// §5.6 uses 0.31; the simulation's NICCoreSpeed must agree with the
+	// cpubench model it is justified by.
+	r := CoremarkRatio()
+	if r < 0.29 || r < 0.0 || r > 0.33 {
+		t.Fatalf("Coremark normalization %.3f, paper: 0.31", r)
+	}
+}
+
+func TestDPDKRatiosInPaperRange(t *testing.T) {
+	rows := Rows()
+	// Multi-threaded DPDK tests: 3.2-3.4x; single: 2.0-2.6x.
+	for _, r := range rows[1:3] {
+		if r.Ratio < 3.1 || r.Ratio > 3.5 {
+			t.Errorf("%s multi ratio %.2f outside 3.2-3.4", r.Kernel, r.Ratio)
+		}
+	}
+	for _, r := range rows[4:] {
+		if r.Ratio < 1.8 || r.Ratio > 2.7 {
+			t.Errorf("%s single ratio %.2f outside ~2.0-2.6", r.Kernel, r.Ratio)
+		}
+	}
+}
+
+func TestTimeKernelsReportSeconds(t *testing.T) {
+	// hash_perf multi: paper reports 349.8s ARM vs 108.1s Xeon.
+	r := Rows()[1]
+	if r.ARM < 300 || r.ARM > 400 {
+		t.Fatalf("hash_perf ARM %.1fs, paper: 349.8s", r.ARM)
+	}
+	if r.Xeon < 90 || r.Xeon > 130 {
+		t.Fatalf("hash_perf Xeon %.1fs, paper: 108.1s", r.Xeon)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if Rows()[0].String() == "" {
+		t.Fatal("empty string")
+	}
+}

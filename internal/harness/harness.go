@@ -1,0 +1,128 @@
+// Package harness contains one driver per table and figure in the paper's
+// evaluation (§3 and §5), each regenerating the corresponding rows or
+// series on the simulated testbed. cmd/xenic-bench runs them by id;
+// bench_test.go wraps each in a testing.B benchmark.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"xenic/internal/sim"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks populations, sweep points, and measurement windows so
+	// an experiment finishes in seconds instead of minutes. Shapes are
+	// preserved; EXPERIMENTS.md records full-scale numbers.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultOptions returns full-scale settings.
+func DefaultOptions() Options { return Options{Seed: 1} }
+
+// Report is an experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// Header/Rows form the table printed for the experiment.
+	Header []string
+	Rows   [][]string
+	// Notes carry paper-vs-measured commentary.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a commentary line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], c)
+			} else {
+				fmt.Fprintf(w, "%s  ", c)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Header) > 0 {
+		printRow(r.Header)
+	}
+	for _, row := range r.Rows {
+		printRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Experiment is one registered driver.
+type Experiment struct {
+	ID       string
+	Title    string
+	PaperRef string
+	Run      func(opt Options) *Report
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID finds an experiment.
+func ByID(id string) (*Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All lists experiments in id order.
+func All() []*Experiment {
+	out := make([]*Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// helpers
+
+func fm(f float64, format string) string { return fmt.Sprintf(format, f) }
+
+func us(t sim.Time) string { return fmt.Sprintf("%.1fus", t.Micros()) }
+
+func mops(v float64) string { return fmt.Sprintf("%.2fM", v/1e6) }
+
+func ktps(v float64) string {
+	if v >= 1e6 {
+		return fmt.Sprintf("%.2fM", v/1e6)
+	}
+	return fmt.Sprintf("%.0fk", v/1e3)
+}

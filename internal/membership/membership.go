@@ -1,0 +1,177 @@
+// Package membership implements the cluster manager Xenic relies on for
+// reconfiguration (§4.2.1): "Xenic uses a typical Zookeeper-based cluster
+// manager to determine membership. Each node holds a lease with the cluster
+// manager, and lease expiration triggers reconfiguration." The manager runs
+// off the critical path: nodes renew leases periodically, a checker expires
+// stale leases, and each reconfiguration produces a new view with an
+// incremented epoch in which every failed primary is replaced by its first
+// surviving backup.
+package membership
+
+import (
+	"fmt"
+
+	"xenic/internal/sim"
+)
+
+// Config tunes lease behavior.
+type Config struct {
+	// LeaseDuration is how long a node's lease lasts without renewal.
+	LeaseDuration sim.Time
+	// RenewPeriod is how often healthy nodes renew.
+	RenewPeriod sim.Time
+	// CheckPeriod is how often the manager scans for expired leases.
+	CheckPeriod sim.Time
+	// NotifyDelay is the propagation delay from the manager deciding a new
+	// view to a node learning about it.
+	NotifyDelay sim.Time
+}
+
+// DefaultConfig returns lease settings suited to the simulated testbed.
+func DefaultConfig() Config {
+	return Config{
+		LeaseDuration: 2 * sim.Millisecond,
+		RenewPeriod:   500 * sim.Microsecond,
+		CheckPeriod:   250 * sim.Microsecond,
+		NotifyDelay:   100 * sim.Microsecond,
+	}
+}
+
+// View is one configuration epoch.
+type View struct {
+	Epoch int
+	// Alive[i] reports node i's membership.
+	Alive []bool
+	// PrimaryOf[s] is the node currently serving shard s.
+	PrimaryOf []int
+	// BackupsOf[s] lists the surviving backups of shard s.
+	BackupsOf [][]int
+}
+
+// clone deep-copies a view.
+func (v View) clone() View {
+	out := View{Epoch: v.Epoch,
+		Alive:     append([]bool(nil), v.Alive...),
+		PrimaryOf: append([]int(nil), v.PrimaryOf...)}
+	for _, b := range v.BackupsOf {
+		out.BackupsOf = append(out.BackupsOf, append([]int(nil), b...))
+	}
+	return out
+}
+
+// Manager is the lease service.
+type Manager struct {
+	eng      *sim.Engine
+	cfg      Config
+	nodes    int
+	repl     int
+	deadline []sim.Time
+	view     View
+	onChange []func(View)
+	started  bool
+}
+
+// New creates a manager for nodes servers with the given replication
+// factor (shard s is initially primary at node s with backups s+1..).
+func New(eng *sim.Engine, nodes, replication int, cfg Config) *Manager {
+	if nodes < 2 || replication < 1 || replication > nodes {
+		panic(fmt.Sprintf("membership: bad cluster %d/%d", nodes, replication))
+	}
+	m := &Manager{eng: eng, cfg: cfg, nodes: nodes, repl: replication,
+		deadline: make([]sim.Time, nodes)}
+	v := View{Epoch: 0, Alive: make([]bool, nodes), PrimaryOf: make([]int, nodes)}
+	for i := 0; i < nodes; i++ {
+		v.Alive[i] = true
+		v.PrimaryOf[i] = i
+		var backups []int
+		for r := 1; r < replication; r++ {
+			backups = append(backups, (i+r)%nodes)
+		}
+		v.BackupsOf = append(v.BackupsOf, backups)
+	}
+	m.view = v
+	for i := range m.deadline {
+		m.deadline[i] = eng.Now() + cfg.LeaseDuration
+	}
+	return m
+}
+
+// View returns a copy of the current view.
+func (m *Manager) View() View { return m.view.clone() }
+
+// OnChange registers a view-change callback; it fires NotifyDelay after
+// each reconfiguration (modeling manager-to-node propagation).
+func (m *Manager) OnChange(fn func(View)) { m.onChange = append(m.onChange, fn) }
+
+// Renew extends node's lease. Dead nodes cannot rejoin (rejoin/again is a
+// separate reconfiguration path the paper also leaves to the manager).
+func (m *Manager) Renew(node int) {
+	if !m.view.Alive[node] {
+		return
+	}
+	m.deadline[node] = m.eng.Now() + m.cfg.LeaseDuration
+}
+
+// Start begins the expiry checker.
+func (m *Manager) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.eng.Ticker(m.cfg.CheckPeriod, func() bool {
+		m.check()
+		return true
+	})
+}
+
+// check expires stale leases and reconfigures.
+func (m *Manager) check() {
+	changed := false
+	for i := range m.deadline {
+		if m.view.Alive[i] && m.eng.Now() > m.deadline[i] {
+			m.view.Alive[i] = false
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	m.reconfigure()
+}
+
+// reconfigure promotes the first surviving backup of every shard whose
+// primary died and prunes dead backups.
+func (m *Manager) reconfigure() {
+	m.view.Epoch++
+	for s := 0; s < m.nodes; s++ {
+		// Candidate chain: original primary, then original backups.
+		chain := []int{s}
+		for r := 1; r < m.repl; r++ {
+			chain = append(chain, (s+r)%m.nodes)
+		}
+		primary := -1
+		var backups []int
+		for _, n := range chain {
+			if !m.view.Alive[n] {
+				continue
+			}
+			if primary == -1 {
+				primary = n
+			} else {
+				backups = append(backups, n)
+			}
+		}
+		if primary == -1 {
+			// All replicas lost: the shard is unavailable; keep the last
+			// primary for deterministic routing, callers must check Alive.
+			continue
+		}
+		m.view.PrimaryOf[s] = primary
+		m.view.BackupsOf[s] = backups
+	}
+	v := m.View()
+	for _, fn := range m.onChange {
+		fn := fn
+		m.eng.After(m.cfg.NotifyDelay, func() { fn(v) })
+	}
+}

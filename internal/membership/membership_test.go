@@ -1,0 +1,144 @@
+package membership
+
+import (
+	"testing"
+
+	"xenic/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *Manager) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := New(eng, 6, 3, DefaultConfig())
+	return eng, m
+}
+
+// renewAllExcept keeps every node but the listed ones renewing.
+func renewAllExcept(eng *sim.Engine, m *Manager, dead map[int]bool) {
+	cfg := DefaultConfig()
+	for i := 0; i < 6; i++ {
+		i := i
+		eng.Ticker(cfg.RenewPeriod, func() bool {
+			if !dead[i] {
+				m.Renew(i)
+			}
+			return true
+		})
+	}
+}
+
+func TestInitialView(t *testing.T) {
+	_, m := setup(t)
+	v := m.View()
+	if v.Epoch != 0 {
+		t.Fatalf("epoch %d", v.Epoch)
+	}
+	for s := 0; s < 6; s++ {
+		if v.PrimaryOf[s] != s {
+			t.Fatalf("shard %d primary %d", s, v.PrimaryOf[s])
+		}
+		if len(v.BackupsOf[s]) != 2 || v.BackupsOf[s][0] != (s+1)%6 {
+			t.Fatalf("shard %d backups %v", s, v.BackupsOf[s])
+		}
+	}
+}
+
+func TestNoChangeWhileRenewing(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	changes := 0
+	m.OnChange(func(View) { changes++ })
+	renewAllExcept(eng, m, map[int]bool{})
+	eng.Run(20 * sim.Millisecond)
+	if changes != 0 {
+		t.Fatalf("%d spurious view changes", changes)
+	}
+}
+
+func TestPrimaryFailover(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	var views []View
+	m.OnChange(func(v View) { views = append(views, v) })
+	dead := map[int]bool{}
+	renewAllExcept(eng, m, dead)
+	eng.Run(3 * sim.Millisecond)
+	dead[2] = true // node 2 stops renewing
+	eng.Run(20 * sim.Millisecond)
+
+	if len(views) == 0 {
+		t.Fatal("no view change after lease expiry")
+	}
+	v := views[len(views)-1]
+	if v.Alive[2] {
+		t.Fatal("node 2 still alive")
+	}
+	// Shard 2's primary fails over to node 3 (first backup).
+	if v.PrimaryOf[2] != 3 {
+		t.Fatalf("shard 2 primary %d, want 3", v.PrimaryOf[2])
+	}
+	if len(v.BackupsOf[2]) != 1 || v.BackupsOf[2][0] != 4 {
+		t.Fatalf("shard 2 backups %v, want [4]", v.BackupsOf[2])
+	}
+	// Shards 0 and 1 lose node 2 as a backup.
+	if len(v.BackupsOf[0]) != 1 || v.BackupsOf[0][0] != 1 {
+		t.Fatalf("shard 0 backups %v", v.BackupsOf[0])
+	}
+	if len(v.BackupsOf[1]) != 1 || v.BackupsOf[1][0] != 3 {
+		t.Fatalf("shard 1 backups %v", v.BackupsOf[1])
+	}
+	// Unrelated shard untouched.
+	if v.PrimaryOf[5] != 5 || len(v.BackupsOf[5]) != 2 {
+		t.Fatalf("shard 5 disturbed: %d %v", v.PrimaryOf[5], v.BackupsOf[5])
+	}
+	if v.Epoch < 1 {
+		t.Fatalf("epoch %d", v.Epoch)
+	}
+}
+
+func TestDeadNodeCannotRenew(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	dead := map[int]bool{}
+	renewAllExcept(eng, m, dead)
+	eng.Run(3 * sim.Millisecond)
+	dead[0] = true
+	eng.Run(10 * sim.Millisecond)
+	if m.View().Alive[0] {
+		t.Fatal("node 0 alive")
+	}
+	m.Renew(0) // zombie renewal must be ignored
+	eng.Run(10 * sim.Millisecond)
+	if m.View().Alive[0] {
+		t.Fatal("dead node resurrected by renewal")
+	}
+}
+
+func TestDoubleFailure(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	dead := map[int]bool{}
+	renewAllExcept(eng, m, dead)
+	eng.Run(3 * sim.Millisecond)
+	dead[2] = true
+	dead[3] = true
+	eng.Run(20 * sim.Millisecond)
+	v := m.View()
+	// Shard 2: chain 2,3,4 -> primary 4, no backups left.
+	if v.PrimaryOf[2] != 4 || len(v.BackupsOf[2]) != 0 {
+		t.Fatalf("shard 2: primary %d backups %v", v.PrimaryOf[2], v.BackupsOf[2])
+	}
+	// Shard 1: chain 1,2,3 -> primary 1, no backups.
+	if v.PrimaryOf[1] != 1 || len(v.BackupsOf[1]) != 0 {
+		t.Fatalf("shard 1: primary %d backups %v", v.PrimaryOf[1], v.BackupsOf[1])
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(sim.NewEngine(1), 1, 1, DefaultConfig())
+}

@@ -1,0 +1,273 @@
+// Package metrics provides the measurement primitives the benchmark harness
+// uses: latency histograms with quantiles, windowed throughput counters, and
+// the Coremark-normalized thread accounting of §5.6.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xenic/internal/sim"
+)
+
+// Histogram records latency samples with logarithmic buckets from 1ns to
+// ~17s (2^34 ns), giving <=0.8% relative quantile error with 8 sub-buckets
+// per octave while using constant memory.
+type Histogram struct {
+	buckets [34 * 8]int64
+	count   int64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketOf(d sim.Time) int {
+	ns := d.Nanos()
+	if ns < 1 {
+		ns = 1
+	}
+	b := int(math.Log2(ns) * 8)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len((&Histogram{}).buckets) {
+		b = len((&Histogram{}).buckets) - 1
+	}
+	return b
+}
+
+func bucketMid(b int) sim.Time {
+	return sim.FromNanos(math.Exp2((float64(b) + 0.5) / 8))
+}
+
+// Record adds one latency sample.
+func (h *Histogram) Record(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean reports the exact mean of recorded samples.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Min and Max report exact extremes.
+func (h *Histogram) Min() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+func (h *Histogram) Max() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the approximate q-quantile (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count-1))
+	var seen int64
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+n > target {
+			m := bucketMid(b)
+			if m < h.min {
+				m = h.min
+			}
+			if m > h.max {
+				m = h.max
+			}
+			return m
+		}
+		seen += n
+	}
+	return h.max
+}
+
+// Median is Quantile(0.5).
+func (h *Histogram) Median() sim.Time { return h.Quantile(0.5) }
+
+// Reset clears all samples.
+func (h *Histogram) Reset() { *h = Histogram{min: math.MaxInt64} }
+
+// Merge adds all samples of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.count > 0 {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v mean=%v", h.count, h.Median(), h.Quantile(0.99), h.Mean())
+}
+
+// Counter is a monotonically increasing event counter with a marked window,
+// used to measure steady-state throughput after warmup.
+type Counter struct {
+	total     int64
+	markCount int64
+	markAt    sim.Time
+}
+
+// Inc adds n events.
+func (c *Counter) Inc(n int64) { c.total += n }
+
+// Total reports all events since creation.
+func (c *Counter) Total() int64 { return c.total }
+
+// Mark starts a measurement window at time now.
+func (c *Counter) Mark(now sim.Time) {
+	c.markCount = c.total
+	c.markAt = now
+}
+
+// Rate reports events/second between the last Mark and now.
+func (c *Counter) Rate(now sim.Time) float64 {
+	dt := (now - c.markAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return float64(c.total-c.markCount) / dt
+}
+
+// WindowCount reports events since the last Mark.
+func (c *Counter) WindowCount() int64 { return c.total - c.markCount }
+
+// Utilization accumulates busy time for a set of cores and reports
+// occupancy and normalized thread counts.
+type Utilization struct {
+	busy []sim.Time
+}
+
+// NewUtilization tracks n cores.
+func NewUtilization(n int) *Utilization { return &Utilization{busy: make([]sim.Time, n)} }
+
+// Add charges d of busy time to core i.
+func (u *Utilization) Add(i int, d sim.Time) { u.busy[i] += d }
+
+// Busy reports total busy time of core i.
+func (u *Utilization) Busy(i int) sim.Time { return u.busy[i] }
+
+// BusyCores reports the equivalent number of fully-busy cores over a window
+// of length dur.
+func (u *Utilization) BusyCores(dur sim.Time) float64 {
+	var total sim.Time
+	for _, b := range u.busy {
+		total += b
+	}
+	if dur <= 0 {
+		return 0
+	}
+	return float64(total) / float64(dur)
+}
+
+// ActiveCores reports how many cores saw any work.
+func (u *Utilization) ActiveCores() int {
+	n := 0
+	for _, b := range u.busy {
+		if b > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset zeroes all busy accounting.
+func (u *Utilization) Reset() {
+	for i := range u.busy {
+		u.busy[i] = 0
+	}
+}
+
+// NormalizedThreads implements the §5.6 accounting: host threads count 1.0
+// each, NIC threads count coremarkRatio each (0.31 in the paper).
+func NormalizedThreads(hostThreads, nicThreads int, coremarkRatio float64) float64 {
+	return float64(hostThreads) + float64(nicThreads)*coremarkRatio
+}
+
+// Series is a labelled sequence of (x, y) points, the unit the harness uses
+// to print figure data.
+type Series struct {
+	Label  string
+	X, Y   []float64
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// PeakY returns the maximum y value, or 0 when empty.
+func (s *Series) PeakY() float64 {
+	peak := 0.0
+	for _, y := range s.Y {
+		if y > peak {
+			peak = y
+		}
+	}
+	return peak
+}
+
+// SortByX orders points by ascending x.
+func (s *Series) SortByX() {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(s.X))
+	y := make([]float64, len(s.Y))
+	for i, j := range idx {
+		x[i], y[i] = s.X[j], s.Y[j]
+	}
+	s.X, s.Y = x, y
+}

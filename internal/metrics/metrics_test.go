@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"xenic/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Median() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	h.Record(10 * sim.Microsecond)
+	h.Record(20 * sim.Microsecond)
+	h.Record(30 * sim.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 20*sim.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*sim.Microsecond || h.Max() != 30*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := NewHistogram()
+	var samples []float64
+	for i := 0; i < 20000; i++ {
+		// Latencies between 1us and 1ms, log-uniform.
+		us := 1.0
+		for j := 0; j < 3; j++ {
+			us *= 1 + rng.Float64()*9
+		}
+		d := sim.FromNanos(us * 10)
+		samples = append(samples, d.Nanos())
+		h.Record(d)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Quantile(q).Nanos()
+		if got < exact*0.9 || got > exact*1.1 {
+			t.Errorf("q=%.2f: got %.0fns, exact %.0fns", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	h := NewHistogram()
+	h.Record(42 * sim.Microsecond)
+	// Quantiles are clamped to [min,max], so a single sample is exact.
+	if h.Median() != 42*sim.Microsecond || h.Quantile(0.99) != 42*sim.Microsecond {
+		t.Fatalf("median=%v p99=%v", h.Median(), h.Quantile(0.99))
+	}
+}
+
+func TestHistogramMergeReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(1 * sim.Microsecond)
+	b.Record(3 * sim.Microsecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 3*sim.Microsecond {
+		t.Fatalf("after merge: %v", a)
+	}
+	a.Reset()
+	if a.Count() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	a.Record(5 * sim.Microsecond)
+	if a.Min() != 5*sim.Microsecond {
+		t.Fatalf("min after reset+record = %v", a.Min())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5 * sim.Microsecond)
+	if h.Min() != 0 {
+		t.Fatalf("negative sample recorded as %v", h.Min())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(10)
+	c.Mark(1 * sim.Second)
+	c.Inc(500)
+	if got := c.Rate(2 * sim.Second); got != 500 {
+		t.Fatalf("rate = %v", got)
+	}
+	if c.Total() != 510 || c.WindowCount() != 500 {
+		t.Fatalf("total=%d window=%d", c.Total(), c.WindowCount())
+	}
+	if c.Rate(1*sim.Second) != 0 {
+		t.Fatal("zero-length window should report 0")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := NewUtilization(4)
+	u.Add(0, 500*sim.Millisecond)
+	u.Add(1, 250*sim.Millisecond)
+	if got := u.BusyCores(1 * sim.Second); got != 0.75 {
+		t.Fatalf("BusyCores = %v", got)
+	}
+	if u.ActiveCores() != 2 {
+		t.Fatalf("ActiveCores = %d", u.ActiveCores())
+	}
+	if u.Busy(0) != 500*sim.Millisecond {
+		t.Fatalf("Busy(0) = %v", u.Busy(0))
+	}
+	u.Reset()
+	if u.BusyCores(1*sim.Second) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestNormalizedThreads(t *testing.T) {
+	// §5.6: Xenic Retwis = 5 host + 16 NIC threads at 0.31 ratio -> 9.96.
+	got := NormalizedThreads(5, 16, 0.31)
+	if got < 9.9 || got > 10.0 {
+		t.Fatalf("normalized threads = %v, want ~9.96", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Label: "x"}
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 50)
+	if s.PeakY() != 50 {
+		t.Fatalf("peak = %v", s.PeakY())
+	}
+	s.SortByX()
+	if s.X[0] != 1 || s.Y[0] != 10 || s.X[2] != 3 || s.Y[2] != 30 {
+		t.Fatalf("sorted: %v %v", s.X, s.Y)
+	}
+	empty := &Series{}
+	if empty.PeakY() != 0 {
+		t.Fatal("empty peak != 0")
+	}
+}

@@ -1,0 +1,442 @@
+package nicrt
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xenic/internal/metrics"
+	"xenic/internal/model"
+	"xenic/internal/pcie"
+	"xenic/internal/sim"
+	"xenic/internal/simnet"
+	"xenic/internal/wire"
+)
+
+// Features toggles the runtime-level optimizations evaluated in §5.7
+// (Figure 9). Protocol-level toggles live in the core package.
+type Features struct {
+	// EthAggregation packs many messages per Ethernet frame / PCIe packet
+	// via per-destination gather lists (§4.3.2). Off: one frame per message.
+	EthAggregation bool
+	// AsyncDMA accumulates DMAs in per-core vectors with continuation
+	// callbacks (§4.3.1). Off: every DMA is a blocking single-element
+	// submission.
+	AsyncDMA bool
+}
+
+// AllFeatures enables the full Xenic runtime.
+func AllFeatures() Features { return Features{EthAggregation: true, AsyncDMA: true} }
+
+// Handler processes one protocol message on a NIC core. src is the sending
+// node (the local node for messages from the host).
+type Handler func(c *Core, src int, m wire.Msg)
+
+// Stats counts NIC-level events.
+type Stats struct {
+	RxFrames, RxMsgs    int64
+	TxFrames, TxMsgs    int64
+	HostRxMsgs          int64 // messages received from the local host
+	HostTxMsgs          int64 // messages sent to the local host
+	DMAReads, DMAWrites int64
+}
+
+// NIC is one server's on-path SmartNIC: a set of polling cores over the
+// fabric port, the DMA engine, and the host packet interface.
+type NIC struct {
+	eng   *sim.Engine
+	p     model.Params
+	node  int
+	nw    *simnet.Network
+	dma   *pcie.Engine
+	feat  Features
+	cores []*Core
+	rng   *rand.Rand
+
+	handler     Handler
+	hostDeliver func(ms []wire.Msg)
+
+	util  *metrics.Utilization
+	stats Stats
+}
+
+// New creates a NIC with ncores active cores attached to nw at node.
+func New(eng *sim.Engine, p model.Params, nw *simnet.Network, node, ncores int, feat Features) *NIC {
+	if ncores <= 0 || ncores > p.NICCores {
+		panic(fmt.Sprintf("nicrt: %d cores outside 1..%d", ncores, p.NICCores))
+	}
+	n := &NIC{
+		eng: eng, p: p, node: node, nw: nw,
+		dma:  pcie.New(eng, p),
+		feat: feat,
+		rng:  rand.New(rand.NewSource(int64(node)*7919 + 1)),
+		util: metrics.NewUtilization(ncores),
+	}
+	for i := 0; i < ncores; i++ {
+		c := &Core{nic: n, id: i, outNet: map[int]*[]wire.Msg{}}
+		c.poller = NewPoller(eng, p.NICLoopIdle)
+		c.poller.SetWork(c.iteration)
+		i := i
+		c.poller.SetOnBusy(func(d sim.Time) { n.util.Add(i, d) })
+		n.cores = append(n.cores, c)
+	}
+	nw.Attach(node, n.dispatchFrame)
+	return n
+}
+
+// Node returns this NIC's node id.
+func (n *NIC) Node() int { return n.node }
+
+// Cores returns the number of active cores.
+func (n *NIC) Cores() int { return len(n.cores) }
+
+// DMA exposes the NIC's DMA engine (for stats).
+func (n *NIC) DMA() *pcie.Engine { return n.dma }
+
+// Stats returns a copy of the counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// Utilization returns the per-core busy accounting.
+func (n *NIC) Utilization() *metrics.Utilization { return n.util }
+
+// OnMessage installs the protocol handler; must be set before traffic flows.
+func (n *NIC) OnMessage(h Handler) { n.handler = h }
+
+// OnHostDeliver installs the host-side receive function for NIC->host
+// messages (the host runtime's dispatcher).
+func (n *NIC) OnHostDeliver(fn func(ms []wire.Msg)) { n.hostDeliver = fn }
+
+// dispatchFrame steers an arriving frame to a core by its flow label.
+func (n *NIC) dispatchFrame(f *simnet.Frame) {
+	c := n.cores[hash64(uint64(f.Flow))%uint64(len(n.cores))]
+	if c.poller.Stopped() {
+		c = n.cores[0]
+	}
+	c.inFrames = append(c.inFrames, f)
+	c.poller.Wake()
+}
+
+// FromHost delivers a batch of host-originated messages (one PCIe packet)
+// to a NIC core. Called by the host runtime after the HostToNIC delay.
+func (n *NIC) FromHost(ms []wire.Msg) {
+	if len(ms) == 0 {
+		return
+	}
+	c := n.cores[hash64(txnOf(ms[0]))%uint64(len(n.cores))]
+	c.inHost = append(c.inHost, ms)
+	c.poller.Wake()
+}
+
+func txnOf(m wire.Msg) uint64 {
+	type txnIDer interface{ GetTxnID() uint64 }
+	if t, ok := m.(txnIDer); ok {
+		return t.GetTxnID()
+	}
+	return 0
+}
+
+func hash64(v uint64) uint64 {
+	z := v + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// StopCore parks core i permanently (failure injection / thread scaling).
+func (n *NIC) StopCore(i int) { n.cores[i].poller.Stop() }
+
+// Inject schedules fn to run on core i's next loop iteration; protocol
+// timers and NIC-originated microbenchmarks use it.
+func (n *NIC) Inject(i int, fn func(c *Core)) {
+	c := n.cores[i%len(n.cores)]
+	c.jobs = append(c.jobs, fn)
+	c.poller.Wake()
+}
+
+// Core is one NIC core plus its aggregation state. Protocol handlers
+// receive a *Core and use it to charge compute time, issue DMAs, and send
+// messages; everything they emit is aggregated at iteration end (§4.3.2).
+type Core struct {
+	nic    *NIC
+	id     int
+	poller *Poller
+
+	inFrames []*simnet.Frame
+	inHost   [][]wire.Msg
+	dmaDone  [][]func()
+	jobs     []func(c *Core)
+
+	pendReadSizes  []int
+	pendReadCbs    []func()
+	pendWriteSizes []int
+	pendWriteCbs   []func()
+
+	outNet  map[int]*[]wire.Msg
+	outDsts []int
+	outHost []wire.Msg
+}
+
+// iteration is one burst loop pass: handle a burst of Ethernet and host
+// traffic and a burst of DMA completions, then flush DMA vectors and
+// aggregated transmissions.
+func (c *Core) iteration() bool {
+	did := false
+	p := c.nic.p
+
+	frames := c.inFrames
+	c.inFrames = nil
+	for _, f := range frames {
+		did = true
+		c.poller.Charge(p.NICFrameRx)
+		c.nic.stats.RxFrames++
+		for _, raw := range f.Msgs {
+			m := raw.(wire.Msg)
+			c.nic.stats.RxMsgs++
+			c.poller.Charge(p.NICMsgHandle)
+			c.nic.handler(c, f.Src, m)
+		}
+	}
+
+	hostPkts := c.inHost
+	c.inHost = nil
+	for _, pkt := range hostPkts {
+		did = true
+		c.poller.Charge(p.NICFrameRx) // PCIe packet descriptor handling
+		for _, m := range pkt {
+			c.nic.stats.HostRxMsgs++
+			c.poller.Charge(p.NICMsgHandle)
+			c.nic.handler(c, c.nic.node, m)
+		}
+	}
+
+	done := c.dmaDone
+	c.dmaDone = nil
+	for _, batch := range done {
+		did = true
+		for _, cb := range batch {
+			cb()
+		}
+	}
+
+	jobs := c.jobs
+	c.jobs = nil
+	for _, j := range jobs {
+		did = true
+		j(c)
+	}
+
+	c.flushDMA()
+	c.flushNet()
+	c.flushHost()
+	return did
+}
+
+// Charge adds compute cost to the current iteration.
+func (c *Core) Charge(d sim.Time) { c.poller.Charge(d) }
+
+// Now returns the core's current instant.
+func (c *Core) Now() sim.Time { return c.poller.Now() }
+
+// Node returns the local node id.
+func (c *Core) Node() int { return c.nic.node }
+
+// Rand returns the NIC's PRNG.
+func (c *Core) Rand() *rand.Rand { return c.nic.rng }
+
+// Send queues m for transmission to node dst, aggregated with other
+// messages to the same destination at iteration end.
+func (c *Core) Send(dst int, m wire.Msg) {
+	if dst == c.nic.node {
+		panic("nicrt: self-send; local work must not use the fabric")
+	}
+	q, ok := c.outNet[dst]
+	if !ok {
+		q = new([]wire.Msg)
+		c.outNet[dst] = q
+	}
+	if len(*q) == 0 {
+		// First message for dst since the last flush: (re-)enter it in the
+		// deterministic flush order.
+		c.outDsts = append(c.outDsts, dst)
+	}
+	*q = append(*q, m)
+}
+
+// SendHost queues m for delivery to the local host over PCIe.
+func (c *Core) SendHost(m wire.Msg) { c.outHost = append(c.outHost, m) }
+
+// DMARead issues an asynchronous host-memory read of the given element
+// sizes; cb runs (on this core, in a later iteration) once the data is in
+// NIC memory. With AsyncDMA disabled the core blocks for the completion.
+func (c *Core) DMARead(sizes []int, cb func()) { c.dmaOp(false, sizes, cb) }
+
+// DMAWrite issues an asynchronous host-memory write; cb runs once the
+// completion status lands (e.g. to send a LOG acknowledgement).
+func (c *Core) DMAWrite(sizes []int, cb func()) { c.dmaOp(true, sizes, cb) }
+
+func (c *Core) dmaOp(write bool, sizes []int, cb func()) {
+	if len(sizes) == 0 {
+		panic("nicrt: empty DMA")
+	}
+	p := c.nic.p
+	if write {
+		c.nic.stats.DMAWrites += int64(len(sizes))
+	} else {
+		c.nic.stats.DMAReads += int64(len(sizes))
+	}
+	if !c.nic.feat.AsyncDMA {
+		// Blocking mode (ablation baseline): submit immediately as its own
+		// vector and stall the core until completion.
+		c.Charge(p.DMASubmit)
+		lat := p.DMAReadLatency
+		if write {
+			lat = p.DMAWriteLatency
+		}
+		c.nic.dma.Submit(c.id%p.DMAQueues, &pcie.Vector{Write: write, Sizes: sizes})
+		c.Charge(lat)
+		if cb != nil {
+			cb()
+		}
+		return
+	}
+	for _, sz := range sizes {
+		if write {
+			c.pendWriteSizes = append(c.pendWriteSizes, sz)
+			if len(c.pendWriteSizes) == p.DMAVectorMax {
+				c.pendWriteCbs = append(c.pendWriteCbs, cb)
+				cb = nil
+				c.submitVector(true)
+				continue
+			}
+		} else {
+			c.pendReadSizes = append(c.pendReadSizes, sz)
+			if len(c.pendReadSizes) == p.DMAVectorMax {
+				c.pendReadCbs = append(c.pendReadCbs, cb)
+				cb = nil
+				c.submitVector(false)
+				continue
+			}
+		}
+	}
+	if cb != nil {
+		if write {
+			c.pendWriteCbs = append(c.pendWriteCbs, cb)
+		} else {
+			c.pendReadCbs = append(c.pendReadCbs, cb)
+		}
+	}
+}
+
+// submitVector submits the pending read or write vector, amortizing the
+// submission cost and registering the completion continuation.
+func (c *Core) submitVector(write bool) {
+	p := c.nic.p
+	var sizes []int
+	var cbs []func()
+	if write {
+		sizes, cbs = c.pendWriteSizes, c.pendWriteCbs
+		c.pendWriteSizes, c.pendWriteCbs = nil, nil
+	} else {
+		sizes, cbs = c.pendReadSizes, c.pendReadCbs
+		c.pendReadSizes, c.pendReadCbs = nil, nil
+	}
+	if len(sizes) == 0 {
+		return
+	}
+	c.Charge(p.DMASubmit)
+	core := c
+	v := &pcie.Vector{
+		Write: write,
+		Sizes: sizes,
+		Complete: func() {
+			if len(cbs) > 0 {
+				core.dmaDone = append(core.dmaDone, cbs)
+			}
+			core.poller.Wake()
+		},
+	}
+	// Submit at the core's current instant so engine admission sees the
+	// true submission time, not the iteration's start.
+	queue := c.id % p.DMAQueues
+	c.poller.At(0, func() { c.nic.dma.Submit(queue, v) })
+}
+
+// flushDMA submits any partial vectors at iteration end ("when a NIC core
+// is idle, or when the DMA vector fills" — §4.3.1).
+func (c *Core) flushDMA() {
+	c.submitVector(false)
+	c.submitVector(true)
+}
+
+// flushNet transmits each destination's gather list, packing messages into
+// MTU-bounded frames when aggregation is enabled.
+func (c *Core) flushNet() {
+	p := c.nic.p
+	flow := c.nic.node*64 + c.id
+	for _, dst := range c.outDsts {
+		q := c.outNet[dst]
+		ms := *q
+		*q = nil
+		if len(ms) == 0 {
+			continue
+		}
+		var batchMsgs []any
+		batchBytes := 0
+		send := func(bytes int, msgs []any) {
+			// Messages larger than the MTU are fragmented; the payload
+			// rides the leading frames and the messages are delivered with
+			// the final fragment (last-bit arrival).
+			for bytes > p.MTU {
+				c.Charge(p.NICFrameTx)
+				c.nic.stats.TxFrames++
+				frag := &simnet.Frame{Src: c.nic.node, Dst: dst,
+					PayloadBytes: p.MTU, Flow: flow}
+				c.poller.At(0, func() { c.nic.nw.Send(frag) })
+				bytes -= p.MTU
+			}
+			c.Charge(p.NICFrameTx)
+			c.nic.stats.TxFrames++
+			f := &simnet.Frame{Src: c.nic.node, Dst: dst,
+				PayloadBytes: bytes, Flow: flow, Msgs: msgs}
+			// Transmit at the core's current instant so link serialization
+			// starts when the core actually hands off the frame.
+			c.poller.At(0, func() { c.nic.nw.Send(f) })
+		}
+		emit := func() {
+			if batchBytes == 0 {
+				return
+			}
+			send(batchBytes, batchMsgs)
+			batchMsgs, batchBytes = nil, 0
+		}
+		for _, m := range ms {
+			sz := m.WireSize()
+			c.nic.stats.TxMsgs++
+			if !c.nic.feat.EthAggregation {
+				send(sz, []any{m})
+				continue
+			}
+			if batchBytes > 0 && batchBytes+sz > p.MTU {
+				emit()
+			}
+			batchMsgs = append(batchMsgs, m)
+			batchBytes += sz
+		}
+		emit()
+	}
+	c.outDsts = c.outDsts[:0]
+}
+
+// flushHost delivers queued NIC->host messages as one PCIe packet.
+func (c *Core) flushHost() {
+	if len(c.outHost) == 0 {
+		return
+	}
+	ms := c.outHost
+	c.outHost = nil
+	c.nic.stats.HostTxMsgs += int64(len(ms))
+	c.Charge(c.nic.p.NICFrameTx)
+	deliver := c.nic.hostDeliver
+	if deliver == nil {
+		panic("nicrt: no host delivery function installed")
+	}
+	c.poller.At(c.nic.p.NICToHost, func() { deliver(ms) })
+}

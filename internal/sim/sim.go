@@ -1,0 +1,195 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All Xenic experiments run on this engine: hosts, SmartNIC cores, PCIe DMA
+// engines, RDMA NICs and Ethernet links are modeled as components that
+// schedule callbacks at future points of simulated time. The clock has
+// picosecond resolution so that serialization delays of small frames on
+// 100Gbps links (a 64B frame lasts ~5.1ns) accumulate without rounding bias.
+//
+// Determinism: events firing at the same instant run in scheduling order
+// (a strictly increasing sequence number breaks ties), and all randomness
+// used by simulations must come from PRNGs seeded through Engine.Rand.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time, in picoseconds since the start of the
+// run. It is also used for durations.
+type Time int64
+
+// Duration units, expressed in Time (picoseconds).
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Nanos converts t to floating-point nanoseconds.
+func (t Time) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanos())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds to Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromNanos converts floating-point nanoseconds to Time.
+func FromNanos(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not usable;
+// create engines with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	pq     eventHeap
+	rng    *rand.Rand
+	nRun   uint64 // events executed
+	halted bool
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose PRNG is
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's PRNG. Components must derive all randomness from
+// it (or from PRNGs seeded by it) to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Events reports the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nRun }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now()) panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Defer schedules fn to run at the current time, after all callbacks already
+// scheduled for this instant.
+func (e *Engine) Defer(fn func()) { e.At(e.now, fn) }
+
+// Step executes the next pending event, advancing the clock to its time.
+// It returns false if no events remain or the engine is halted.
+func (e *Engine) Step() bool {
+	if e.halted || len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.nRun++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the clock would pass `until`, no events remain,
+// or Halt is called. Events scheduled exactly at `until` do run. The clock is
+// left at min(until, time of last event).
+func (e *Engine) Run(until Time) {
+	for !e.halted && len(e.pq) > 0 && e.pq[0].at <= until {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.at
+		e.nRun++
+		ev.fn()
+	}
+	if !e.halted && e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until none remain or Halt is called.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// Halt stops the engine: Run/RunAll/Step return immediately afterwards.
+// Pending events remain queued; Resume allows stepping again.
+func (e *Engine) Halt() { e.halted = true }
+
+// Resume clears a previous Halt.
+func (e *Engine) Resume() { e.halted = false }
+
+// Halted reports whether Halt has been called without a matching Resume.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Ticker invokes fn every period until fn returns false. The first
+// invocation happens one period from now.
+func (e *Engine) Ticker(period Time, fn func() bool) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(period, tick)
+		}
+	}
+	e.After(period, tick)
+}

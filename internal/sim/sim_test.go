@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Microsecond != 1000*Nanosecond {
+		t.Fatalf("Microsecond = %d ns", Microsecond/Nanosecond)
+	}
+	if Second != 1e12*Picosecond {
+		t.Fatalf("Second = %d ps", int64(Second))
+	}
+	if got := (2500 * Nanosecond).Micros(); got != 2.5 {
+		t.Errorf("Micros() = %v, want 2.5", got)
+	}
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+	if got := FromNanos(2.5); got != 2500*Picosecond {
+		t.Errorf("FromNanos(2.5) = %v", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{1500 * Picosecond, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{4 * Second, "4.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5*Nanosecond, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events ran out of scheduling order: %v", order)
+	}
+}
+
+func TestEngineDeferRunsAfterCurrentInstant(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(time10(), func() {
+		e.Defer(func() { order = append(order, "deferred") })
+		order = append(order, "direct")
+	})
+	e.At(time10(), func() { order = append(order, "second") })
+	e.RunAll()
+	want := []string{"direct", "second", "deferred"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func time10() Time { return 10 * Nanosecond }
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Microsecond, func() { ran++ })
+	}
+	e.Run(5 * Microsecond)
+	if ran != 5 {
+		t.Fatalf("ran = %d, want 5", ran)
+	}
+	if e.Now() != 5*Microsecond {
+		t.Fatalf("Now = %v, want 5us", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+	// Clock advances to `until` even with no events at that time.
+	e.Run(7500 * Nanosecond)
+	if e.Now() != 7500*Nanosecond || ran != 7 {
+		t.Fatalf("Now = %v ran = %d", e.Now(), ran)
+	}
+}
+
+func TestEngineRunClockAdvancesWhenIdle(t *testing.T) {
+	e := NewEngine(1)
+	e.Run(3 * Second)
+	if e.Now() != 3*Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	e.RunAll()
+}
+
+func TestEngineHaltResume(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(1*Microsecond, func() { ran++; e.Halt() })
+	e.At(2*Microsecond, func() { ran++ })
+	e.RunAll()
+	if ran != 1 || !e.Halted() {
+		t.Fatalf("ran = %d halted = %v", ran, e.Halted())
+	}
+	e.Resume()
+	e.RunAll()
+	if ran != 2 {
+		t.Fatalf("after resume ran = %d", ran)
+	}
+}
+
+func TestEngineTicker(t *testing.T) {
+	e := NewEngine(1)
+	var at []Time
+	e.Ticker(10*Nanosecond, func() bool {
+		at = append(at, e.Now())
+		return len(at) < 3
+	})
+	e.RunAll()
+	if len(at) != 3 || at[0] != 10*Nanosecond || at[2] != 30*Nanosecond {
+		t.Fatalf("ticks at %v", at)
+	}
+}
+
+func TestEngineTickerBadPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewEngine(1).Ticker(0, func() bool { return false })
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var trace []int64
+		var step func()
+		step = func() {
+			trace = append(trace, int64(e.Now()))
+			if len(trace) < 200 {
+				e.After(Time(1+e.Rand().Intn(1000))*Nanosecond, step)
+			}
+		}
+		e.After(1*Nanosecond, step)
+		e.RunAll()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Property: for any batch of events at random times, execution order is by
+// time with FIFO tie-breaking, and the clock ends at the max time.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine(7)
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var got []rec
+		for i, raw := range times {
+			at := Time(raw) * Nanosecond
+			i := i
+			e.At(at, func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.RunAll()
+		if len(got) != len(times) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine(1)
+	b.ReportAllocs()
+	var next func()
+	n := 0
+	next = func() {
+		n++
+		if n < b.N {
+			e.After(1*Nanosecond, next)
+		}
+	}
+	e.After(1*Nanosecond, next)
+	e.RunAll()
+}

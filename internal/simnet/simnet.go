@@ -1,0 +1,144 @@
+// Package simnet models the Ethernet fabric connecting the testbed servers:
+// per-node full-duplex ports with one or two ganged links (2x50GbE LiquidIO,
+// §5), cut-through switching with a fixed propagation delay, per-frame wire
+// overhead, and serialization on both the sender's egress and the receiver's
+// ingress so that incast workloads (e.g. the §3.4 write microbenchmark with
+// 5 sources and 1 target) are bottlenecked at the receiver as on hardware.
+package simnet
+
+import (
+	"fmt"
+
+	"xenic/internal/model"
+	"xenic/internal/sim"
+)
+
+// Frame is one Ethernet frame in flight. A frame carries one or more
+// application messages (aggregated transmission packs many, §4.3.2);
+// PayloadBytes is their total encoded size, which together with the
+// per-frame overhead determines wire occupancy.
+type Frame struct {
+	Src, Dst     int
+	PayloadBytes int
+	// Flow is an opaque flow label (e.g. source core); receivers' hardware
+	// flow engines steer frames to cores by it (§4.3.2).
+	Flow int
+	Msgs []any
+}
+
+// Handler receives frames delivered to a node, at the simulated instant the
+// last bit arrives.
+type Handler func(f *Frame)
+
+// port is one node's attachment: N egress and N ingress lanes.
+type port struct {
+	egressBusy  []sim.Time
+	ingressBusy []sim.Time
+	handler     Handler
+	txBytes     int64
+	rxBytes     int64
+	txFrames    int64
+}
+
+// Network is the fabric. It is not safe for concurrent use; all access must
+// happen from simulation callbacks.
+type Network struct {
+	eng   *sim.Engine
+	p     model.Params
+	ports []port
+}
+
+// New creates a fabric with n node ports using parameters p.
+func New(eng *sim.Engine, p model.Params, n int) *Network {
+	nw := &Network{eng: eng, p: p, ports: make([]port, n)}
+	for i := range nw.ports {
+		nw.ports[i].egressBusy = make([]sim.Time, p.LinksPerNode)
+		nw.ports[i].ingressBusy = make([]sim.Time, p.LinksPerNode)
+	}
+	return nw
+}
+
+// Nodes returns the number of attached ports.
+func (n *Network) Nodes() int { return len(n.ports) }
+
+// Attach installs the frame handler for node id. It must be called before
+// any frame is sent to that node.
+func (n *Network) Attach(id int, h Handler) { n.ports[id].handler = h }
+
+// pickLane returns the index of the earliest-free lane.
+func pickLane(busy []sim.Time) int {
+	best := 0
+	for i := 1; i < len(busy); i++ {
+		if busy[i] < busy[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Send transmits f from f.Src to f.Dst. The frame is serialized on the
+// sender's least-busy egress lane, propagates, is serialized on the
+// receiver's least-busy ingress lane, and is delivered to the destination
+// handler when its last bit arrives. Send panics on malformed frames so
+// protocol bugs surface immediately.
+func (n *Network) Send(f *Frame) {
+	if f.Src == f.Dst {
+		panic(fmt.Sprintf("simnet: self-send at node %d", f.Src))
+	}
+	if f.Dst < 0 || f.Dst >= len(n.ports) {
+		panic(fmt.Sprintf("simnet: bad destination %d", f.Dst))
+	}
+	if f.PayloadBytes <= 0 {
+		panic("simnet: frame with non-positive payload")
+	}
+	if f.PayloadBytes > n.p.MTU {
+		panic(fmt.Sprintf("simnet: frame payload %dB exceeds MTU %dB", f.PayloadBytes, n.p.MTU))
+	}
+	src, dst := &n.ports[f.Src], &n.ports[f.Dst]
+	now := n.eng.Now()
+	ser := n.p.SerializationDelay(n.p.WireBytes(f.PayloadBytes))
+
+	lane := pickLane(src.egressBusy)
+	start := now
+	if src.egressBusy[lane] > start {
+		start = src.egressBusy[lane]
+	}
+	egressDone := start + ser
+	src.egressBusy[lane] = egressDone
+	src.txBytes += int64(n.p.WireBytes(f.PayloadBytes))
+	src.txFrames++
+
+	inLane := pickLane(dst.ingressBusy)
+	arrive := egressDone + n.p.PropDelay
+	if b := dst.ingressBusy[inLane] + ser; b > arrive {
+		arrive = b
+	}
+	dst.ingressBusy[inLane] = arrive
+	dst.rxBytes += int64(n.p.WireBytes(f.PayloadBytes))
+
+	h := dst.handler
+	if h == nil {
+		panic(fmt.Sprintf("simnet: no handler attached at node %d", f.Dst))
+	}
+	n.eng.At(arrive, func() { h(f) })
+}
+
+// TxBytes reports total wire bytes transmitted by node id.
+func (n *Network) TxBytes(id int) int64 { return n.ports[id].txBytes }
+
+// RxBytes reports total wire bytes received by node id.
+func (n *Network) RxBytes(id int) int64 { return n.ports[id].rxBytes }
+
+// TxFrames reports total frames transmitted by node id.
+func (n *Network) TxFrames(id int) int64 { return n.ports[id].txFrames }
+
+// EgressBacklog reports how far beyond now the node's least-busy egress lane
+// is committed; runtimes use it for backpressure.
+func (n *Network) EgressBacklog(id int) sim.Time {
+	lane := pickLane(n.ports[id].egressBusy)
+	b := n.ports[id].egressBusy[lane] - n.eng.Now()
+	if b < 0 {
+		return 0
+	}
+	return b
+}

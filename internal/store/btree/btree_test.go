@@ -1,0 +1,202 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 5000; k++ {
+		tr.Insert(k*7919%5000, []byte{byte(k)}, k)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 5000; k++ {
+		if _, ok := tr.Get(k); !ok {
+			t.Fatalf("missing key %d", k)
+		}
+	}
+	if _, ok := tr.Get(99999); ok {
+		t.Fatal("found absent key")
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tr := New()
+	tr.Insert(5, []byte("a"), 1)
+	tr.Insert(5, []byte("b"), 2)
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	it, ok := tr.Get(5)
+	if !ok || string(it.Value) != "b" || it.Version != 2 {
+		t.Fatalf("%+v", it)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	keys := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := uint64(rng.Intn(10000))
+		tr.Insert(k, []byte("v"), 1)
+		keys[k] = true
+	}
+	for k := range keys {
+		if !tr.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		delete(keys, k)
+		if len(keys)%500 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tr.Len())
+	}
+	if tr.Delete(42) {
+		t.Fatal("deleted absent key")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for k := uint64(0); k < 1000; k += 2 {
+		tr.Insert(k, []byte("v"), k)
+	}
+	var got []uint64
+	tr.AscendRange(100, 120, func(it Item) bool {
+		got = append(got, it.Key)
+		return true
+	})
+	want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.AscendRange(0, 1000, func(it Item) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// Empty range.
+	n = 0
+	tr.AscendRange(500, 500, func(Item) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("empty range visited items")
+	}
+}
+
+func TestOrderedIterationMatchesSort(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tr := New()
+		uniq := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Insert(k, []byte("v"), 1)
+			uniq[k] = true
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		var want []uint64
+		for k := range uniq {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []uint64
+		tr.AscendRange(0, ^uint64(0), func(it Item) bool {
+			got = append(got, it.Key)
+			return true
+		})
+		// ^uint64(0) as hi excludes MaxUint64 itself; add it back if present.
+		if uniq[^uint64(0)] {
+			got = append(got, ^uint64(0))
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tr := New()
+		model := map[uint64]uint64{}
+		v := uint64(0)
+		for _, op := range ops {
+			k := uint64(op % 211)
+			if op%4 == 0 {
+				_, in := model[k]
+				if tr.Delete(k) != in {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v++
+				tr.Insert(k, []byte{byte(v)}, v)
+				model[k] = v
+			}
+		}
+		if tr.CheckInvariants() != nil || tr.Len() != len(model) {
+			return false
+		}
+		for k, ver := range model {
+			it, ok := tr.Get(k)
+			if !ok || it.Version != ver {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Uint64(), []byte("order-line-payload"), uint64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 100000)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tr.Insert(keys[i], []byte("v"), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}

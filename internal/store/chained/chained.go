@@ -1,0 +1,175 @@
+// Package chained implements DrTM+H's hash structure [44], the second
+// comparison point of Table 2: a closed array of fixed-size B-element
+// buckets with additional linked buckets allocated as necessary. A remote
+// lookup reads whole buckets and follows chain links, so it fetches at
+// least B objects and may take multiple roundtrips.
+package chained
+
+import (
+	"fmt"
+
+	"xenic/internal/store/robinhood"
+)
+
+// Entry is one stored object.
+type Entry struct {
+	Key     uint64
+	Version uint64
+	Value   []byte
+}
+
+type bucket struct {
+	used    int
+	entries []Entry
+	next    *bucket
+}
+
+// Table is a chained-bucket hash table.
+type Table struct {
+	b     int
+	mask  uint64
+	root  []bucket
+	count int
+}
+
+// New creates a table with roots root buckets (rounded to a power of two)
+// of b entries each.
+func New(roots, b int) *Table {
+	if b <= 0 {
+		panic("chained: non-positive bucket size")
+	}
+	n := 1
+	for n < roots {
+		n <<= 1
+	}
+	t := &Table{b: b, mask: uint64(n - 1), root: make([]bucket, n)}
+	for i := range t.root {
+		t.root[i].entries = make([]Entry, b)
+	}
+	return t
+}
+
+// B returns the bucket size.
+func (t *Table) B() int { return t.b }
+
+// Len reports stored keys; Roots the number of root buckets.
+func (t *Table) Len() int   { return t.count }
+func (t *Table) Roots() int { return len(t.root) }
+
+func (t *Table) bucketOf(key uint64) *bucket {
+	return &t.root[robinhood.Hash(key)&t.mask]
+}
+
+// Insert adds or updates key.
+func (t *Table) Insert(key uint64, value []byte, version uint64) {
+	for b := t.bucketOf(key); b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.entries[i].Key == key {
+				b.entries[i].Value = append([]byte(nil), value...)
+				b.entries[i].Version = version
+				return
+			}
+		}
+	}
+	b := t.bucketOf(key)
+	for b.used == t.b {
+		if b.next == nil {
+			b.next = &bucket{entries: make([]Entry, t.b)}
+		}
+		b = b.next
+	}
+	b.entries[b.used] = Entry{Key: key, Version: version, Value: append([]byte(nil), value...)}
+	b.used++
+	t.count++
+}
+
+// LookupResult reports a lookup and its remote-access cost: B objects per
+// bucket visited, one roundtrip per chain hop.
+type LookupResult struct {
+	Found       bool
+	Value       []byte
+	Version     uint64
+	ObjectsRead int
+	Roundtrips  int
+}
+
+// Lookup traverses the chain from the root bucket.
+func (t *Table) Lookup(key uint64) LookupResult {
+	var r LookupResult
+	for b := t.bucketOf(key); b != nil; b = b.next {
+		r.Roundtrips++
+		r.ObjectsRead += t.b
+		for i := 0; i < b.used; i++ {
+			if b.entries[i].Key == key {
+				r.Found = true
+				r.Value = b.entries[i].Value
+				r.Version = b.entries[i].Version
+				return r
+			}
+		}
+	}
+	if r.Roundtrips == 0 {
+		r.Roundtrips = 1
+		r.ObjectsRead = t.b
+	}
+	return r
+}
+
+// Delete removes key, compacting the chain tail into the hole.
+func (t *Table) Delete(key uint64) bool {
+	for b := t.bucketOf(key); b != nil; b = b.next {
+		for i := 0; i < b.used; i++ {
+			if b.entries[i].Key != key {
+				continue
+			}
+			// Find the last entry in the chain and move it into the hole.
+			lastB := b
+			for lastB.next != nil && lastB.next.used > 0 {
+				lastB = lastB.next
+			}
+			b.entries[i] = lastB.entries[lastB.used-1]
+			lastB.entries[lastB.used-1] = Entry{}
+			lastB.used--
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach visits every stored entry until fn returns false.
+func (t *Table) ForEach(fn func(key uint64, version uint64, value []byte) bool) {
+	for ri := range t.root {
+		for b := &t.root[ri]; b != nil; b = b.next {
+			for i := 0; i < b.used; i++ {
+				e := b.entries[i]
+				if !fn(e.Key, e.Version, e.Value) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies bucket occupancy bookkeeping and key placement.
+func (t *Table) CheckInvariants() error {
+	n := 0
+	for ri := range t.root {
+		for b := &t.root[ri]; b != nil; b = b.next {
+			if b.used < 0 || b.used > t.b {
+				return fmt.Errorf("bucket %d: used=%d", ri, b.used)
+			}
+			for i := 0; i < b.used; i++ {
+				e := b.entries[i]
+				if int(robinhood.Hash(e.Key)&t.mask) != ri {
+					return fmt.Errorf("key %d in root %d, hashes to %d", e.Key, ri, robinhood.Hash(e.Key)&t.mask)
+				}
+				n++
+			}
+		}
+	}
+	if n != t.count {
+		return fmt.Errorf("count %d != resident %d", t.count, n)
+	}
+	return nil
+}

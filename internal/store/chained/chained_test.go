@@ -1,0 +1,141 @@
+package chained
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupDelete(t *testing.T) {
+	tb := New(64, 4)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 300) // forces chains: >B keys per root on average
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tb.Insert(keys[i], []byte{byte(i)}, uint64(i+1))
+	}
+	if tb.Len() != 300 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	multiRT := 0
+	for i, k := range keys {
+		r := tb.Lookup(k)
+		if !r.Found || r.Version != uint64(i+1) {
+			t.Fatalf("lookup %d: %+v", k, r)
+		}
+		if r.ObjectsRead != r.Roundtrips*tb.B() {
+			t.Fatalf("cost mismatch: %+v", r)
+		}
+		if r.Roundtrips > 1 {
+			multiRT++
+		}
+	}
+	if multiRT == 0 {
+		t.Fatal("no chained lookups despite 300 keys in 64x4 roots")
+	}
+	for _, k := range keys {
+		if !tb.Delete(k) {
+			t.Fatalf("delete %d", k)
+		}
+		if err := tb.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tb := New(16, 4)
+	tb.Insert(9, []byte("a"), 1)
+	tb.Insert(9, []byte("b"), 2)
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if r := tb.Lookup(9); string(r.Value) != "b" {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestMissCost(t *testing.T) {
+	tb := New(16, 8)
+	r := tb.Lookup(77)
+	if r.Found || r.ObjectsRead != 8 || r.Roundtrips != 1 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestDeleteCompactsFromChainTail(t *testing.T) {
+	tb := New(1, 2) // single root bucket, B=2: keys chain deterministically
+	for k := uint64(1); k <= 6; k++ {
+		tb.Insert(k, []byte("v"), k)
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete a root-bucket key; the tail entry must fill the hole.
+	if !tb.Delete(1) {
+		t.Fatal("delete failed")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(2); k <= 6; k++ {
+		if !tb.Lookup(k).Found {
+			t.Fatalf("lost %d", k)
+		}
+	}
+	// Chain should have shrunk by one entry's roundtrip cost for the tail key.
+	if tb.Len() != 5 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+}
+
+func TestBadBucketSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(16, 0)
+}
+
+func TestModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tb := New(16, 4)
+		model := map[uint64]uint64{}
+		v := uint64(0)
+		for _, op := range ops {
+			k := uint64(op % 41)
+			if op%3 == 0 {
+				_, in := model[k]
+				if tb.Delete(k) != in {
+					return false
+				}
+				delete(model, k)
+			} else {
+				v++
+				tb.Insert(k, []byte{1}, v)
+				model[k] = v
+			}
+			if tb.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for k, ver := range model {
+			r := tb.Lookup(k)
+			if !r.Found || r.Version != ver {
+				return false
+			}
+		}
+		return len(model) == tb.Len()
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

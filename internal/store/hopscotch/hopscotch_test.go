@@ -1,0 +1,150 @@
+package hopscotch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookupDelete(t *testing.T) {
+	tb := New(1024, 8)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 900)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := tb.Insert(keys[i], []byte{byte(i)}, uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tb.Len() != 900 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		r := tb.Lookup(k)
+		if !r.Found || r.Version != uint64(i) {
+			t.Fatalf("lookup %d: %+v", k, r)
+		}
+		if r.ObjectsRead < tb.H() {
+			t.Fatalf("lookup read %d objects, below neighborhood %d", r.ObjectsRead, tb.H())
+		}
+	}
+	for _, k := range keys[:450] {
+		if !tb.Delete(k) {
+			t.Fatalf("delete %d", k)
+		}
+	}
+	if tb.Len() != 450 {
+		t.Fatalf("len after deletes = %d", tb.Len())
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys[450:] {
+		if !tb.Lookup(k).Found {
+			t.Fatalf("lost %d", k)
+		}
+	}
+	if tb.Delete(keys[0]) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tb := New(64, 8)
+	tb.Insert(5, []byte("a"), 1)
+	tb.Insert(5, []byte("b"), 2)
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	r := tb.Lookup(5)
+	if string(r.Value) != "b" || r.Version != 2 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestOverflowLookupTakesSecondRoundtrip(t *testing.T) {
+	tb := New(256, 8)
+	rng := rand.New(rand.NewSource(2))
+	var keys []uint64
+	// Fill to 95% to force neighborhood failures.
+	for tb.Len() < 243 {
+		k := rng.Uint64()
+		if err := tb.Insert(k, []byte("v"), 1); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if tb.OverflowCount() == 0 {
+		t.Skip("no overflow at this seed")
+	}
+	twoRT := 0
+	for _, k := range keys {
+		r := tb.Lookup(k)
+		if !r.Found {
+			t.Fatalf("lost %d", k)
+		}
+		if r.Roundtrips == 2 {
+			twoRT++
+		}
+	}
+	if twoRT < tb.OverflowCount() {
+		t.Fatalf("%d overflow keys but only %d two-roundtrip lookups", tb.OverflowCount(), twoRT)
+	}
+}
+
+func TestMissReportsCost(t *testing.T) {
+	tb := New(64, 8)
+	r := tb.Lookup(999)
+	if r.Found || r.ObjectsRead != 8 || r.Roundtrips != 1 {
+		t.Fatalf("%+v", r)
+	}
+}
+
+func TestBadNeighborhoodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(64, 0)
+}
+
+func TestModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tb := New(128, 8)
+		model := map[uint64]uint64{}
+		v := uint64(0)
+		for _, op := range ops {
+			k := uint64(op % 61)
+			if op%3 == 0 && len(model) > 0 {
+				if tb.Delete(k) != (model[k] != 0) {
+					return false
+				}
+				delete(model, k)
+			} else if tb.Len() < 110 {
+				v++
+				if tb.Insert(k, []byte{1}, v) != nil {
+					return false
+				}
+				model[k] = v
+			}
+			if tb.CheckInvariants() != nil {
+				return false
+			}
+		}
+		for k, ver := range model {
+			r := tb.Lookup(k)
+			if !r.Found || r.Version != ver {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,450 @@
+// Package nicindex implements Xenic's SmartNIC caching index (§4.1.3): a
+// NIC-memory structure with one entry per host-table segment, holding a
+// cache of hot objects, transaction metadata (lock state and version
+// numbers) for objects touched by ongoing transactions, the known maximum
+// displacement d_i of keys homed in the segment, and the segment's overflow
+// address. The index makes common-case remote lookups a single DMA read of
+// d_i+k+1 slots, with a second adjacent read when concurrent host-side
+// insertions have invalidated d_i and an overflow-page read for keys past
+// the displacement limit.
+//
+// Lock state lives only here (one location, §4.2.1), so recovery can
+// rebuild it from logs.
+package nicindex
+
+import (
+	"fmt"
+
+	"xenic/internal/store/robinhood"
+)
+
+// Object is a cached object plus its transaction metadata. Value may be nil
+// for metadata-only entries (e.g. a locked key whose value was never
+// cached, or a key being inserted).
+type Object struct {
+	Key       uint64
+	Value     []byte
+	HasValue  bool
+	Exists    bool // whether the key currently exists in the shard
+	Version   uint64
+	Locked    bool
+	LockOwner uint64 // transaction id holding the lock
+	Pinned    int    // commit-pin count; pinned entries cannot be evicted (§4.2 step 6)
+	ref       bool   // CLOCK reference bit
+}
+
+// ReadOp describes one DMA read a lookup performed.
+type ReadOp struct {
+	Slots    int  // number of table slots fetched (0 for overflow/large reads)
+	Bytes    int  // DMA payload size
+	Overflow bool // overflow-page read
+	Large    bool // out-of-table large-object read
+}
+
+// Result reports a lookup.
+type Result struct {
+	Found       bool
+	Value       []byte
+	Version     uint64
+	CacheHit    bool
+	Reads       []ReadOp // DMA reads performed, in order (empty on cache hit)
+	ObjectsRead int      // objects fetched over PCIe
+}
+
+// Stats counts index events.
+type Stats struct {
+	Lookups     int64
+	CacheHits   int64
+	DMALookups  int64
+	SecondReads int64 // stale-d_i adjacent reads
+	OverReads   int64 // overflow page reads
+	Evictions   int64
+	EvictFails  int64 // eviction scans that found nothing evictable
+}
+
+// Index is one server's NIC-resident caching index over its host table.
+type Index struct {
+	host     *robinhood.Table
+	k        int   // hint slack: read d_i + k elements beyond home (§4.1.3, k=1)
+	di       []int // known max displacement per segment (may lag the host)
+	capacity int   // max cached values
+	cached   int
+	objects  map[uint64]*Object
+	ring     []uint64 // CLOCK ring of cached keys
+	hand     int
+	stats    Stats
+}
+
+// New creates an index over host with the given cached-value capacity.
+// k is the d_i hint slack; the paper sets k=1 experimentally.
+func New(host *robinhood.Table, capacity, k int) *Index {
+	if k < 0 {
+		panic("nicindex: negative hint slack")
+	}
+	x := &Index{
+		host:     host,
+		k:        k,
+		di:       make([]int, host.Segments()),
+		capacity: capacity,
+		objects:  make(map[uint64]*Object),
+	}
+	return x
+}
+
+// SyncHints refreshes every segment's d_i from the host table; called after
+// bulk loading, mirroring the NIC learning the layout during setup.
+func (x *Index) SyncHints() {
+	for s := range x.di {
+		x.di[s] = x.host.SegmentMaxDisp(s)
+	}
+}
+
+// Hint returns the current d_i for segment seg.
+func (x *Index) Hint(seg int) int { return x.di[seg] }
+
+// Stats returns a copy of the event counters.
+func (x *Index) Stats() Stats { return x.stats }
+
+// CachedValues reports how many objects currently have cached values.
+func (x *Index) CachedValues() int { return x.cached }
+
+// Meta returns the metadata entry for key if one exists.
+func (x *Index) Meta(key uint64) (*Object, bool) {
+	o, ok := x.objects[key]
+	return o, ok
+}
+
+// ensure returns key's metadata entry, allocating one if needed.
+func (x *Index) ensure(key uint64) *Object {
+	if o, ok := x.objects[key]; ok {
+		return o
+	}
+	o := &Object{Key: key}
+	x.objects[key] = o
+	return o
+}
+
+// limit returns the host displacement bound.
+func (x *Index) limit() int {
+	if dm := x.host.Config().MaxDisplacement; dm > 0 {
+		return dm
+	}
+	return x.host.Slots()
+}
+
+// Lookup resolves key, from cache when possible and otherwise by DMA reads
+// against the host table, caching what it fetched. The returned ReadOps let
+// the NIC runtime charge DMA latency and PCIe bytes.
+func (x *Index) Lookup(key uint64) Result {
+	x.stats.Lookups++
+	if o, ok := x.objects[key]; ok && o.HasValue {
+		o.ref = true
+		x.stats.CacheHits++
+		return Result{Found: o.Exists, Value: o.Value, Version: o.Version, CacheHit: true}
+	}
+	x.stats.DMALookups++
+
+	home := x.host.Home(key)
+	seg := x.host.SegmentOf(home)
+	dm := x.limit()
+
+	var res Result
+	// First read: home through d_i + k, clamped to the displacement bound.
+	window := x.di[seg] + x.k
+	if window > dm-1 {
+		window = dm - 1
+	}
+	slots := x.host.ReadRegion(home, window+1)
+	res.Reads = append(res.Reads, ReadOp{Slots: len(slots), Bytes: len(slots) * x.host.SlotBytes()})
+	res.ObjectsRead += len(slots)
+	found, done := x.scan(key, home, slots, &res)
+
+	if !found && !done && window < dm-1 {
+		// d_i may be stale: second, adjacent read up to the limit (§4.1.3).
+		x.stats.SecondReads++
+		more := x.host.ReadRegion(home+window+1, dm-1-window)
+		res.Reads = append(res.Reads, ReadOp{Slots: len(more), Bytes: len(more) * x.host.SlotBytes()})
+		res.ObjectsRead += len(more)
+		found, _ = x.scan(key, home, append(slots, more...), &res)
+	}
+
+	if !found && x.host.OverflowLen(seg) > 0 {
+		// Key may have spilled past the displacement limit: read the
+		// segment's overflow page.
+		x.stats.OverReads++
+		over := x.host.ReadOverflow(seg)
+		sz := 0
+		for _, e := range over {
+			sz += 16 + len(e.Value)
+		}
+		res.Reads = append(res.Reads, ReadOp{Bytes: sz, Overflow: true})
+		res.ObjectsRead += len(over)
+		for _, e := range over {
+			if e.Key == key {
+				res.Found = true
+				res.Value = e.Value
+				res.Version = e.Version
+				x.fill(key, e.Value, e.Version, true)
+			}
+		}
+	}
+
+	// The NIC has now learned the segment's true layout.
+	x.di[seg] = x.host.SegmentMaxDisp(seg)
+	if !res.Found && !found {
+		// Negative result: record a metadata-only entry so repeated misses
+		// and inserts of this key have a home.
+		o := x.ensure(key)
+		o.Exists = false
+	}
+	return res
+}
+
+// scan searches fetched slots for key, resolving large-object indirection
+// and caching the hit. It reports (found, provenDone): provenDone is true
+// when an empty slot or Robin Hood early-stop proves the key cannot be
+// further in the table.
+func (x *Index) scan(key uint64, home int, slots []robinhood.Slot, res *Result) (bool, bool) {
+	for d, s := range slots {
+		if !s.Occupied {
+			return false, true
+		}
+		if s.Key == key {
+			val := s.Value
+			if s.Indirect {
+				lv, ok := x.host.LargeValue(key)
+				if !ok {
+					panic(fmt.Sprintf("nicindex: dangling large pointer for key %d", key))
+				}
+				val = lv
+				res.Reads = append(res.Reads, ReadOp{Bytes: len(lv), Large: true})
+				res.ObjectsRead++
+			}
+			res.Found = true
+			res.Value = val
+			res.Version = s.Version
+			x.fill(key, val, s.Version, true)
+			return true, true
+		}
+		if s.Disp < d {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// fill caches a value for key, evicting if needed.
+func (x *Index) fill(key uint64, value []byte, version uint64, exists bool) {
+	o := x.ensure(key)
+	if !o.HasValue {
+		if x.cached >= x.capacity && !x.evict() {
+			// Nothing evictable: keep metadata only.
+			o.Version = version
+			o.Exists = exists
+			return
+		}
+		x.cached++
+		x.ring = append(x.ring, key)
+	}
+	o.Value = append(o.Value[:0], value...)
+	o.HasValue = true
+	o.Version = version
+	o.Exists = exists
+	o.ref = true
+}
+
+// evict removes one unpinned, unlocked cached value using CLOCK, returning
+// whether space was freed.
+func (x *Index) evict() bool {
+	for scanned := 0; scanned < 2*len(x.ring); scanned++ {
+		if len(x.ring) == 0 {
+			break
+		}
+		if x.hand >= len(x.ring) {
+			x.hand = 0
+		}
+		key := x.ring[x.hand]
+		o, ok := x.objects[key]
+		if !ok || !o.HasValue {
+			// Stale ring entry: drop it.
+			x.ring[x.hand] = x.ring[len(x.ring)-1]
+			x.ring = x.ring[:len(x.ring)-1]
+			continue
+		}
+		if o.ref {
+			o.ref = false
+			x.hand++
+			continue
+		}
+		if o.Pinned > 0 || o.Locked {
+			x.hand++
+			continue
+		}
+		// Evict the value; keep metadata only if locked/pinned state
+		// matters (it doesn't here), else drop the whole entry.
+		x.ring[x.hand] = x.ring[len(x.ring)-1]
+		x.ring = x.ring[:len(x.ring)-1]
+		delete(x.objects, key)
+		x.cached--
+		x.stats.Evictions++
+		return true
+	}
+	x.stats.EvictFails++
+	return false
+}
+
+// TryLock acquires key's write lock for owner, allocating a metadata entry
+// if necessary. It fails if another transaction holds the lock; re-locking
+// by the same owner succeeds (idempotent for retried messages).
+func (x *Index) TryLock(key, owner uint64) bool {
+	o := x.ensure(key)
+	if o.Locked && o.LockOwner != owner {
+		return false
+	}
+	o.Locked = true
+	o.LockOwner = owner
+	return true
+}
+
+// Unlock releases key's lock held by owner. Unlocking a lock not held by
+// owner panics: it would indicate a protocol bug.
+func (x *Index) Unlock(key, owner uint64) {
+	o, ok := x.objects[key]
+	if !ok || !o.Locked || o.LockOwner != owner {
+		cur := uint64(0)
+		held := false
+		if ok {
+			cur, held = o.LockOwner, o.Locked
+		}
+		panic(fmt.Sprintf("nicindex: unlock of key %d not held by %#x (exists=%v locked=%v owner=%#x)",
+			key, owner, ok, held, cur))
+	}
+	o.Locked = false
+	o.LockOwner = 0
+}
+
+// UnlockIf releases key only if owner still holds it (tolerant unlock for
+// recovery sweeps racing normal lock release).
+func (x *Index) UnlockIf(key, owner uint64) {
+	o, ok := x.objects[key]
+	if !ok || !o.Locked || o.LockOwner != owner {
+		return
+	}
+	o.Locked = false
+	o.LockOwner = 0
+	if o.Pinned == 0 && !o.HasValue {
+		delete(x.objects, key)
+	}
+}
+
+// IsLocked reports whether key is locked by a transaction other than owner.
+func (x *Index) IsLocked(key, owner uint64) bool {
+	o, ok := x.objects[key]
+	return ok && o.Locked && o.LockOwner != owner
+}
+
+// ForEachLocked visits every locked key with its owning transaction, in
+// ascending key order (deterministic for recovery sweeps).
+func (x *Index) ForEachLocked(fn func(key, owner uint64)) {
+	var keys []uint64
+	for k, o := range x.objects {
+		if o.Locked {
+			keys = append(keys, k)
+		}
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		fn(k, x.objects[k].LockOwner)
+	}
+}
+
+// ForceUnlockAll releases every lock; recovery uses it before rebuilding
+// lock state from logs (§4.2.1).
+func (x *Index) ForceUnlockAll() {
+	for _, o := range x.objects {
+		o.Locked = false
+		o.LockOwner = 0
+		o.Pinned = 0
+	}
+}
+
+// ApplyCommit installs a committed write into the cache, bumps the version,
+// and pins the entry until the host applies the log (§4.2 step 6). The
+// caller must hold the lock.
+func (x *Index) ApplyCommit(key uint64, value []byte, version uint64) {
+	o := x.ensure(key)
+	if !o.HasValue {
+		if x.cached < x.capacity || x.evict() {
+			x.cached++
+			x.ring = append(x.ring, key)
+			o.HasValue = true
+		}
+	}
+	if o.HasValue {
+		o.Value = append(o.Value[:0], value...)
+	}
+	o.Version = version
+	o.Exists = true
+	o.Pinned++
+	o.ref = true
+}
+
+// ApplyCommitMeta records a committed version without caching a value —
+// used for keys the NIC never serves reads for (coordinator-local B+tree
+// keys), whose versions still gate local OCC validation. The entry is
+// pinned until the host applies the log.
+func (x *Index) ApplyCommitMeta(key uint64, version uint64) {
+	o := x.ensure(key)
+	o.Version = version
+	o.Exists = true
+	o.Pinned++
+}
+
+// Unpin releases a commit pin once the host acknowledges applying the
+// logged write, making the entry evictable again. Metadata-only entries
+// with no remaining reason to exist are dropped.
+func (x *Index) Unpin(key uint64) {
+	o, ok := x.objects[key]
+	if !ok || o.Pinned == 0 {
+		panic(fmt.Sprintf("nicindex: unpin of unpinned key %d", key))
+	}
+	o.Pinned--
+	if o.Pinned == 0 && !o.HasValue && !o.Locked {
+		delete(x.objects, key)
+	}
+}
+
+// VersionOf returns the cached version for key if the index knows it.
+func (x *Index) VersionOf(key uint64) (uint64, bool) {
+	if o, ok := x.objects[key]; ok && (o.HasValue || o.Pinned > 0 || o.Version > 0) {
+		return o.Version, o.Exists || o.HasValue
+	}
+	return 0, false
+}
+
+// CheckInvariants validates cache bookkeeping.
+func (x *Index) CheckInvariants() error {
+	n := 0
+	for k, o := range x.objects {
+		if o.Key != k {
+			return fmt.Errorf("entry %d has key %d", k, o.Key)
+		}
+		if o.HasValue {
+			n++
+		}
+		if o.Pinned < 0 {
+			return fmt.Errorf("key %d pinned %d", k, o.Pinned)
+		}
+	}
+	if n != x.cached {
+		return fmt.Errorf("cached=%d but %d values resident", x.cached, n)
+	}
+	if x.cached > x.capacity {
+		return fmt.Errorf("cached=%d exceeds capacity=%d", x.cached, x.capacity)
+	}
+	return nil
+}

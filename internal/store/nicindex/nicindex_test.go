@@ -1,0 +1,312 @@
+package nicindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"xenic/internal/store/robinhood"
+)
+
+func newPair(slots, dm, capacity int) (*robinhood.Table, *Index) {
+	cfg := robinhood.DefaultConfig(slots)
+	cfg.MaxDisplacement = dm
+	host := robinhood.New(cfg)
+	return host, New(host, capacity, 1)
+}
+
+func load(t *testing.T, host *robinhood.Table, n int, seed int64) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := host.Insert(keys[i], []byte{byte(i), byte(i >> 8)}, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	host, idx := newPair(1024, 16, 256)
+	keys := load(t, host, 900, 1)
+	idx.SyncHints()
+
+	k := keys[10]
+	r := idx.Lookup(k)
+	if !r.Found || r.CacheHit || len(r.Reads) == 0 {
+		t.Fatalf("first lookup: %+v", r)
+	}
+	if r.Version != 11 {
+		t.Fatalf("version = %d", r.Version)
+	}
+	r2 := idx.Lookup(k)
+	if !r2.Found || !r2.CacheHit || len(r2.Reads) != 0 {
+		t.Fatalf("second lookup not a cache hit: %+v", r2)
+	}
+	s := idx.Stats()
+	if s.CacheHits != 1 || s.DMALookups != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleReadWithFreshHints(t *testing.T) {
+	host, idx := newPair(4096, 16, 4096)
+	keys := load(t, host, 3600, 2) // ~88%
+	idx.SyncHints()
+	for _, k := range keys {
+		r := idx.Lookup(k)
+		if !r.Found {
+			t.Fatalf("lost key %d", k)
+		}
+		if r.CacheHit {
+			continue
+		}
+		// With exact hints, in-table keys take one read; overflow keys two.
+		maxReads := 1
+		if r.Reads[len(r.Reads)-1].Overflow {
+			maxReads = 2
+		}
+		nonLarge := 0
+		for _, rd := range r.Reads {
+			if !rd.Large {
+				nonLarge++
+			}
+		}
+		if nonLarge > maxReads {
+			t.Fatalf("key %d took %d reads with fresh hints: %+v", k, nonLarge, r.Reads)
+		}
+	}
+}
+
+func TestStaleHintTriggersSecondRead(t *testing.T) {
+	host, idx := newPair(1024, 32, 1024)
+	load(t, host, 700, 3)
+	idx.SyncHints()
+	// New insertions can displace keys beyond the synced hints.
+	rng := rand.New(rand.NewSource(4))
+	extra := make([]uint64, 200)
+	for i := range extra {
+		extra[i] = rng.Uint64()
+		if err := host.Insert(extra[i], []byte("x"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := idx.Stats().SecondReads
+	for _, k := range extra {
+		if r := idx.Lookup(k); !r.Found {
+			t.Fatalf("lost %d", k)
+		}
+	}
+	if idx.Stats().SecondReads == second {
+		t.Skip("no hint went stale at this seed (unlikely)")
+	}
+}
+
+func TestHintLearning(t *testing.T) {
+	host, idx := newPair(1024, 32, 1024)
+	keys := load(t, host, 800, 5)
+	// No SyncHints: all hints start at 0, so lookups may need a second
+	// read but must still succeed, and hints converge afterwards.
+	k := keys[0]
+	if r := idx.Lookup(k); !r.Found {
+		t.Fatal("lookup failed with cold hints")
+	}
+	seg := host.SegmentOf(host.Home(k))
+	if idx.Hint(seg) != host.SegmentMaxDisp(seg) {
+		t.Fatalf("hint %d not learned, host has %d", idx.Hint(seg), host.SegmentMaxDisp(seg))
+	}
+}
+
+func TestOverflowRead(t *testing.T) {
+	host, idx := newPair(1024, 4, 1024) // tiny Dm forces overflow
+	keys := load(t, host, 920, 6)
+	idx.SyncHints()
+	if host.Stats().Overflows == 0 {
+		t.Skip("no overflow at this seed")
+	}
+	sawOverflowRead := false
+	for _, k := range keys {
+		r := idx.Lookup(k)
+		if !r.Found {
+			t.Fatalf("lost %d", k)
+		}
+		for _, rd := range r.Reads {
+			if rd.Overflow {
+				sawOverflowRead = true
+			}
+		}
+	}
+	if !sawOverflowRead {
+		t.Fatal("no lookup read an overflow page")
+	}
+}
+
+func TestLargeObjectExtraRead(t *testing.T) {
+	host, idx := newPair(256, 16, 64)
+	big := make([]byte, 660)
+	if err := host.Insert(7, big, 3); err != nil {
+		t.Fatal(err)
+	}
+	idx.SyncHints()
+	r := idx.Lookup(7)
+	if !r.Found || len(r.Value) != 660 {
+		t.Fatalf("%+v", r)
+	}
+	hasLarge := false
+	for _, rd := range r.Reads {
+		if rd.Large && rd.Bytes == 660 {
+			hasLarge = true
+		}
+	}
+	if !hasLarge {
+		t.Fatalf("no large-object read: %+v", r.Reads)
+	}
+}
+
+func TestNegativeLookup(t *testing.T) {
+	host, idx := newPair(256, 16, 64)
+	load(t, host, 100, 7)
+	idx.SyncHints()
+	r := idx.Lookup(0xdeadbeef)
+	if r.Found {
+		t.Fatal("found absent key")
+	}
+	if len(r.Reads) == 0 {
+		t.Fatal("negative lookup reported no reads")
+	}
+}
+
+func TestLockUnlock(t *testing.T) {
+	host, idx := newPair(256, 16, 64)
+	_ = host
+	if !idx.TryLock(1, 100) {
+		t.Fatal("lock failed")
+	}
+	if !idx.TryLock(1, 100) {
+		t.Fatal("re-lock by owner failed")
+	}
+	if idx.TryLock(1, 200) {
+		t.Fatal("lock stolen")
+	}
+	if !idx.IsLocked(1, 200) {
+		t.Fatal("IsLocked(other) = false")
+	}
+	if idx.IsLocked(1, 100) {
+		t.Fatal("IsLocked(owner) = true")
+	}
+	idx.Unlock(1, 100)
+	if !idx.TryLock(1, 200) {
+		t.Fatal("lock after unlock failed")
+	}
+}
+
+func TestUnlockWrongOwnerPanics(t *testing.T) {
+	_, idx := newPair(64, 16, 16)
+	idx.TryLock(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	idx.Unlock(5, 2)
+}
+
+func TestCommitPinBlocksEviction(t *testing.T) {
+	host, idx := newPair(1024, 16, 4) // tiny cache
+	keys := load(t, host, 800, 8)
+	idx.SyncHints()
+
+	idx.TryLock(keys[0], 1)
+	idx.ApplyCommit(keys[0], []byte("committed"), 99)
+	idx.Unlock(keys[0], 1)
+
+	// Thrash the cache: the pinned entry must survive.
+	for _, k := range keys[1:500] {
+		idx.Lookup(k)
+	}
+	r := idx.Lookup(keys[0])
+	if !r.CacheHit || string(r.Value) != "committed" || r.Version != 99 {
+		t.Fatalf("pinned entry evicted or stale: %+v", r)
+	}
+	idx.Unpin(keys[0])
+	for _, k := range keys[500:] {
+		idx.Lookup(k)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpinWithoutPinPanics(t *testing.T) {
+	_, idx := newPair(64, 16, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	idx.Unpin(3)
+}
+
+func TestEvictionKeepsCapacity(t *testing.T) {
+	host, idx := newPair(4096, 16, 32)
+	keys := load(t, host, 3000, 9)
+	idx.SyncHints()
+	for _, k := range keys {
+		idx.Lookup(k)
+		if idx.CachedValues() > 32 {
+			t.Fatalf("cache grew to %d", idx.CachedValues())
+		}
+	}
+	if idx.Stats().Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionOf(t *testing.T) {
+	host, idx := newPair(256, 16, 64)
+	keys := load(t, host, 100, 10)
+	idx.SyncHints()
+	if _, ok := idx.VersionOf(keys[0]); ok {
+		t.Fatal("version known before lookup")
+	}
+	idx.Lookup(keys[0])
+	v, ok := idx.VersionOf(keys[0])
+	if !ok || v != 1 {
+		t.Fatalf("VersionOf = %d, %v", v, ok)
+	}
+}
+
+func TestForceUnlockAll(t *testing.T) {
+	_, idx := newPair(64, 16, 16)
+	idx.TryLock(1, 9)
+	idx.TryLock(2, 9)
+	idx.ForceUnlockAll()
+	if !idx.TryLock(1, 5) || !idx.TryLock(2, 6) {
+		t.Fatal("locks survived ForceUnlockAll")
+	}
+}
+
+func TestApplyCommitBumpsVersionEvenWithoutCacheSpace(t *testing.T) {
+	host, idx := newPair(1024, 16, 1)
+	keys := load(t, host, 800, 11)
+	idx.SyncHints()
+	// Fill the single cache slot and pin it so ApplyCommit below cannot
+	// cache a value.
+	idx.Lookup(keys[0])
+	idx.ApplyCommit(keys[0], []byte("pin"), 50)
+	idx.ApplyCommit(keys[1], []byte("meta-only"), 51)
+	v, known := idx.VersionOf(keys[1])
+	if !known || v != 51 {
+		t.Fatalf("metadata-only commit lost: v=%d known=%v", v, known)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,556 @@
+// Package robinhood implements Xenic's host-side hash table (§4.1.2): a
+// closed Robin Hood linear-probing table with a global displacement limit
+// Dm, fixed-size segments with linked overflow buckets, overflow-swap or
+// bounded backward-shift deletion, and large-object indirection for values
+// above 256B so that DMA lookups never fetch large payloads inline.
+//
+// The table is a real data structure — the Table 2 lookup-efficiency results
+// are measured on it — and it also reports the geometry the SmartNIC index
+// needs: per-segment maximum displacements and the byte layout of probe
+// regions fetched by DMA reads.
+package robinhood
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Hash is the 64-bit mix function used to derive home positions; exported so
+// the NIC index, and the alternative table designs compared in Table 2, hash
+// identically.
+func Hash(key uint64) uint64 {
+	// splitmix64 finalizer.
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Config sizes a table.
+type Config struct {
+	// Slots is the number of main-table slots; rounded up to a power of 2.
+	Slots int
+	// SegmentSlots is the number of slots per segment; one NIC index entry
+	// covers one segment (§4.1.3). Must divide the rounded slot count.
+	SegmentSlots int
+	// MaxDisplacement is the global displacement limit Dm. 0 disables the
+	// limit (the "no limit" row of Table 2).
+	MaxDisplacement int
+	// InlineValueSize is the fixed per-slot value capacity in bytes. Values
+	// above LargeThreshold are stored out of table behind a pointer.
+	InlineValueSize int
+	// LargeThreshold is the inline-storage cutoff; the paper uses 256B.
+	LargeThreshold int
+}
+
+// DefaultConfig returns a table configuration with the paper's defaults.
+func DefaultConfig(slots int) Config {
+	return Config{
+		Slots:           slots,
+		SegmentSlots:    4,
+		MaxDisplacement: 16,
+		InlineValueSize: 64,
+		LargeThreshold:  256,
+	}
+}
+
+// Slot is one main-table entry as visible to a DMA read.
+type Slot struct {
+	Occupied bool
+	Key      uint64
+	Disp     int    // displacement from the key's home position
+	Version  uint64 // sequence number, incremented on commit
+	Value    []byte // inline value, or nil when Indirect
+	Indirect bool   // value stored out of table (>LargeThreshold)
+}
+
+// OverflowEntry is one element of a segment's overflow bucket.
+type OverflowEntry struct {
+	Key     uint64
+	Version uint64
+	Value   []byte
+	Home    int // home slot index, needed for overflow-swap deletion
+}
+
+// Stats counts structural events, several of which the paper reports
+// (e.g. ~6% of insertions at 90% occupancy raise a segment's max
+// displacement, and only ~0.2% raise it by more than one — §4.1.3).
+type Stats struct {
+	Inserts            int64
+	Overflows          int64
+	Swaps              int64 // occupied-slot swaps during insertion
+	Deletes            int64
+	BackwardShifts     int64
+	OverflowSwapsIn    int64 // deletions resolved by pulling in an overflow element
+	MaxDispRaised      int64 // insertions that raised their segment's max displacement
+	MaxDispRaisedByTwo int64 // ... by more than one
+	MultiLineSwaps     int64 // swaps spanning >1 host cache line (HTM-guarded, §4.1.2)
+}
+
+// Table is the host-side store for one shard.
+type Table struct {
+	cfg      Config
+	mask     uint64
+	slots    []Slot
+	overflow [][]OverflowEntry // per segment
+	segMax   []int             // per-segment max displacement (exact)
+	count    int
+	large    map[uint64][]byte // out-of-table large values
+	stats    Stats
+}
+
+// ErrFull is returned when insertion cannot find a free slot within the
+// probe bound.
+var ErrFull = errors.New("robinhood: table full")
+
+// New creates a table. It panics on invalid configuration, since table
+// geometry is fixed at startup in the systems being modeled.
+func New(cfg Config) *Table {
+	n := 1
+	for n < cfg.Slots {
+		n <<= 1
+	}
+	if cfg.SegmentSlots <= 0 || n%cfg.SegmentSlots != 0 {
+		panic(fmt.Sprintf("robinhood: segment size %d does not divide %d slots", cfg.SegmentSlots, n))
+	}
+	if cfg.MaxDisplacement < 0 {
+		panic("robinhood: negative displacement limit")
+	}
+	if cfg.LargeThreshold <= 0 {
+		cfg.LargeThreshold = 256
+	}
+	if cfg.InlineValueSize <= 0 {
+		cfg.InlineValueSize = 64
+	}
+	cfg.Slots = n
+	return &Table{
+		cfg:      cfg,
+		mask:     uint64(n - 1),
+		slots:    make([]Slot, n),
+		overflow: make([][]OverflowEntry, n/cfg.SegmentSlots),
+		segMax:   make([]int, n/cfg.SegmentSlots),
+		large:    make(map[uint64][]byte),
+	}
+}
+
+// Config returns the table's effective configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Len reports the number of stored keys (main table + overflow).
+func (t *Table) Len() int { return t.count }
+
+// Slots reports main-table capacity.
+func (t *Table) Slots() int { return len(t.slots) }
+
+// Segments reports the number of segments.
+func (t *Table) Segments() int { return len(t.overflow) }
+
+// Stats returns a copy of the structural event counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// Home returns the home slot index for key.
+func (t *Table) Home(key uint64) int { return int(Hash(key) & t.mask) }
+
+// SegmentOf returns the segment index covering slot index idx.
+func (t *Table) SegmentOf(idx int) int { return idx / t.cfg.SegmentSlots }
+
+// SegmentMaxDisp returns the exact maximum displacement among keys whose
+// home position lies in segment seg (0 when empty). The NIC index mirrors
+// this value, possibly stale, as its lookup hint d_i.
+func (t *Table) SegmentMaxDisp(seg int) int { return t.segMax[seg] }
+
+// OverflowLen reports the number of overflow entries for segment seg.
+func (t *Table) OverflowLen(seg int) int { return len(t.overflow[seg]) }
+
+// SlotBytes is the encoded size of one slot in host memory: 8B key + 2B
+// displacement + 2B flags + 4B version + inline value capacity. DMA probe
+// reads fetch multiples of this.
+func (t *Table) SlotBytes() int { return 16 + t.cfg.InlineValueSize }
+
+// dispLimited reports whether the displacement limit is enabled.
+func (t *Table) dispLimited() bool { return t.cfg.MaxDisplacement > 0 }
+
+// limit returns the probe bound: Dm when limited, else the table size.
+func (t *Table) limit() int {
+	if t.dispLimited() {
+		return t.cfg.MaxDisplacement
+	}
+	return len(t.slots)
+}
+
+func (t *Table) idx(home, d int) int { return (home + d) & int(t.mask) }
+
+// raiseSegMax records a displacement observation for a key homed in seg.
+func (t *Table) raiseSegMax(seg, disp int) {
+	if disp > t.segMax[seg] {
+		if disp > t.segMax[seg]+1 {
+			t.stats.MaxDispRaisedByTwo++
+		}
+		t.stats.MaxDispRaised++
+		t.segMax[seg] = disp
+	}
+}
+
+// recomputeSegMax recalculates a segment's max displacement after deletion.
+func (t *Table) recomputeSegMax(seg int) {
+	maxD := 0
+	base := seg * t.cfg.SegmentSlots
+	// A key homed in this segment can sit up to limit()-1 past segment end.
+	for off := 0; off < t.cfg.SegmentSlots+t.limit(); off++ {
+		s := &t.slots[(base+off)&int(t.mask)]
+		if s.Occupied && t.SegmentOf(t.Home(s.Key)) == seg && s.Disp > maxD {
+			maxD = s.Disp
+		}
+	}
+	t.segMax[seg] = maxD
+}
+
+// storeValue prepares a slot's value fields, applying large-object
+// indirection.
+func (t *Table) storeValue(s *Slot, key uint64, value []byte) {
+	if len(value) > t.cfg.LargeThreshold {
+		s.Indirect = true
+		s.Value = nil
+		t.large[key] = append([]byte(nil), value...)
+		return
+	}
+	if len(value) > t.cfg.InlineValueSize {
+		panic(fmt.Sprintf("robinhood: value of %dB exceeds inline capacity %dB (and is below the large threshold %dB)",
+			len(value), t.cfg.InlineValueSize, t.cfg.LargeThreshold))
+	}
+	s.Indirect = false
+	s.Value = append([]byte(nil), value...)
+	delete(t.large, key)
+}
+
+// Insert adds key with value and version. Inserting an existing key updates
+// it in place. Returns ErrFull only when no free slot exists within reach
+// and the overflow path also cannot apply (unlimited-displacement tables
+// that are completely full).
+func (t *Table) Insert(key uint64, value []byte, version uint64) error {
+	if s := t.findSlot(key); s != nil {
+		t.storeValue(s, key, value)
+		s.Version = version
+		return nil
+	}
+	if e := t.findOverflow(key); e != nil {
+		e.Value = append([]byte(nil), value...)
+		e.Version = version
+		return nil
+	}
+	t.stats.Inserts++
+
+	carry := Slot{Occupied: true, Key: key, Version: version}
+	t.storeValue(&carry, key, value)
+	home := t.Home(key)
+	carryHome := home
+	d := 0
+	for step := 0; step <= len(t.slots); step++ {
+		if t.dispLimited() && d >= t.cfg.MaxDisplacement {
+			// Displacement reached Dm: the carried element (which may be a
+			// displaced victim, not the original key) goes to the overflow
+			// bucket of ITS home segment (§4.1.2).
+			t.appendOverflow(carry, carryHome)
+			return nil
+		}
+		i := t.idx(carryHome, d)
+		s := &t.slots[i]
+		if !s.Occupied {
+			carry.Disp = d
+			*s = carry
+			t.count++
+			t.raiseSegMax(t.SegmentOf(carryHome), d)
+			return nil
+		}
+		if s.Disp < d {
+			// Steal displacement wealth: swap the carried element with the
+			// better-placed occupant and continue inserting the victim.
+			carry.Disp = d
+			victim := *s
+			*s = carry
+			t.stats.Swaps++
+			if t.slotSpansCacheLines() {
+				t.stats.MultiLineSwaps++
+			}
+			t.raiseSegMax(t.SegmentOf(carryHome), d)
+			carry = victim
+			carryHome = t.Home(victim.Key)
+			d = victim.Disp
+		}
+		d++
+	}
+	return ErrFull
+}
+
+// slotSpansCacheLines reports whether a slot crosses a 64B host cache line,
+// requiring the HTM-guarded swap path of §4.1.2.
+func (t *Table) slotSpansCacheLines() bool { return t.SlotBytes() > 64 }
+
+func (t *Table) appendOverflow(s Slot, home int) {
+	seg := t.SegmentOf(home)
+	val := s.Value
+	if s.Indirect {
+		val = append([]byte(nil), t.large[s.Key]...)
+		delete(t.large, s.Key)
+	}
+	t.overflow[seg] = append(t.overflow[seg], OverflowEntry{
+		Key: s.Key, Version: s.Version, Value: val, Home: home,
+	})
+	t.count++
+	t.stats.Overflows++
+}
+
+// findSlot returns the main-table slot holding key, or nil.
+func (t *Table) findSlot(key uint64) *Slot {
+	home := t.Home(key)
+	for d := 0; d < t.limit(); d++ {
+		s := &t.slots[t.idx(home, d)]
+		if !s.Occupied {
+			return nil
+		}
+		if s.Key == key {
+			return s
+		}
+		if s.Disp < d {
+			// Robin Hood invariant: key would have displaced this element.
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *Table) findOverflow(key uint64) *OverflowEntry {
+	seg := t.SegmentOf(t.Home(key))
+	for i := range t.overflow[seg] {
+		if t.overflow[seg][i].Key == key {
+			return &t.overflow[seg][i]
+		}
+	}
+	return nil
+}
+
+// LookupResult describes a lookup, including the probe work a remote reader
+// would have performed; the NIC index and Table 2 use these counts.
+type LookupResult struct {
+	Found    bool
+	Value    []byte
+	Version  uint64
+	Disp     int  // displacement at which the key was found
+	Overflow bool // found in (or required reading) the overflow bucket
+}
+
+// Lookup finds key via local memory access (the host fast path).
+func (t *Table) Lookup(key uint64) LookupResult {
+	if s := t.findSlot(key); s != nil {
+		v := s.Value
+		if s.Indirect {
+			v = t.large[key]
+		}
+		return LookupResult{Found: true, Value: v, Version: s.Version, Disp: s.Disp}
+	}
+	if e := t.findOverflow(key); e != nil {
+		return LookupResult{Found: true, Value: e.Value, Version: e.Version, Overflow: true}
+	}
+	return LookupResult{}
+}
+
+// Update overwrites an existing key's value and version, returning false if
+// the key is absent.
+func (t *Table) Update(key uint64, value []byte, version uint64) bool {
+	if s := t.findSlot(key); s != nil {
+		t.storeValue(s, key, value)
+		s.Version = version
+		return true
+	}
+	if e := t.findOverflow(key); e != nil {
+		e.Value = append([]byte(nil), value...)
+		e.Version = version
+		return true
+	}
+	return false
+}
+
+// Delete removes key. Deletion prefers swapping in an overflow element of
+// the same segment (if one can legally occupy the freed slot), otherwise it
+// performs a backward shift bounded by the displacement limit (§4.1.2).
+func (t *Table) Delete(key uint64) bool {
+	home := t.Home(key)
+	for d := 0; d < t.limit(); d++ {
+		i := t.idx(home, d)
+		s := &t.slots[i]
+		if !s.Occupied {
+			break
+		}
+		if s.Key == key {
+			t.removeAt(i)
+			t.stats.Deletes++
+			t.count--
+			delete(t.large, key)
+			t.recomputeSegMax(t.SegmentOf(home))
+			return true
+		}
+		if s.Disp < d {
+			break
+		}
+	}
+	// Overflow-resident key.
+	seg := t.SegmentOf(home)
+	for i := range t.overflow[seg] {
+		if t.overflow[seg][i].Key == key {
+			t.overflow[seg] = append(t.overflow[seg][:i], t.overflow[seg][i+1:]...)
+			t.stats.Deletes++
+			t.count--
+			delete(t.large, key)
+			return true
+		}
+	}
+	return false
+}
+
+// removeAt frees slot i with a bounded backward shift, then tries to pull an
+// overflow element of a covering segment back into the main table (§4.1.2's
+// "swap an overflow element over the deleted element"). The pulled element
+// goes through the normal insertion path so the Robin Hood run ordering —
+// home positions non-decreasing within a probe run, which the early-stop
+// lookup rule depends on — is preserved.
+func (t *Table) removeAt(i int) {
+	// Backward shift: move subsequent displaced elements one slot back
+	// until an empty slot or an element already at home.
+	cur := i
+	for {
+		next := (cur + 1) & int(t.mask)
+		n := &t.slots[next]
+		if !n.Occupied || n.Disp == 0 {
+			break
+		}
+		moved := *n
+		moved.Disp--
+		t.slots[cur] = moved
+		t.stats.BackwardShifts++
+		cur = next
+	}
+	t.slots[cur] = Slot{}
+	t.promoteOverflow(i)
+}
+
+// promoteOverflow re-inserts one overflow element homed near slot i, if any;
+// insertion may succeed into the vacated space or legitimately overflow
+// again.
+func (t *Table) promoteOverflow(i int) {
+	for _, seg := range t.segmentsCovering(i) {
+		bucket := t.overflow[seg]
+		if len(bucket) == 0 {
+			continue
+		}
+		e := bucket[len(bucket)-1]
+		t.overflow[seg] = bucket[:len(bucket)-1]
+		t.count--
+		before := t.stats.Overflows
+		if err := t.Insert(e.Key, e.Value, e.Version); err != nil {
+			// Should be impossible: we just freed a slot. Restore.
+			t.overflow[seg] = append(t.overflow[seg], e)
+			t.count++
+			return
+		}
+		if t.stats.Overflows == before {
+			t.stats.OverflowSwapsIn++
+		}
+		return
+	}
+}
+
+// segmentsCovering lists segments whose homed keys could occupy slot i:
+// the segment of i and the preceding segments within the probe bound.
+func (t *Table) segmentsCovering(i int) []int {
+	segs := []int{t.SegmentOf(i)}
+	span := (t.limit() + t.cfg.SegmentSlots - 1) / t.cfg.SegmentSlots
+	for k := 1; k <= span; k++ {
+		idx := (i - k*t.cfg.SegmentSlots) & int(t.mask)
+		segs = append(segs, t.SegmentOf(idx))
+	}
+	return segs
+}
+
+// ReadRegion copies n slots starting at the key's home offset; this is what
+// a NIC DMA probe read returns. start is an absolute slot index.
+func (t *Table) ReadRegion(start, n int) []Slot {
+	out := make([]Slot, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, t.slots[(start+k)&int(t.mask)])
+	}
+	return out
+}
+
+// ReadOverflow returns a copy of segment seg's overflow bucket, as a DMA
+// read of the overflow page would.
+func (t *Table) ReadOverflow(seg int) []OverflowEntry {
+	return append([]OverflowEntry(nil), t.overflow[seg]...)
+}
+
+// LargeValue fetches an out-of-table value by key (the single-object DMA
+// read that follows a pointer slot).
+func (t *Table) LargeValue(key uint64) ([]byte, bool) {
+	v, ok := t.large[key]
+	return v, ok
+}
+
+// ForEach visits every stored key (main table then overflow) until fn
+// returns false. Values for indirect entries are resolved.
+func (t *Table) ForEach(fn func(key uint64, version uint64, value []byte) bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.Occupied {
+			continue
+		}
+		v := s.Value
+		if s.Indirect {
+			v = t.large[s.Key]
+		}
+		if !fn(s.Key, s.Version, v) {
+			return
+		}
+	}
+	for _, bucket := range t.overflow {
+		for _, e := range bucket {
+			if !fn(e.Key, e.Version, e.Value) {
+				return
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies structural invariants, returning an error
+// describing the first violation. Tests and failure-injection runs call it.
+func (t *Table) CheckInvariants() error {
+	n := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.Occupied {
+			continue
+		}
+		n++
+		home := t.Home(s.Key)
+		d := (i - home) & int(t.mask)
+		if d != s.Disp {
+			return fmt.Errorf("slot %d: stored disp %d != actual %d", i, s.Disp, d)
+		}
+		if t.dispLimited() && s.Disp >= t.cfg.MaxDisplacement {
+			return fmt.Errorf("slot %d: disp %d >= limit %d", i, s.Disp, t.cfg.MaxDisplacement)
+		}
+		if got := t.SegmentMaxDisp(t.SegmentOf(home)); s.Disp > got {
+			return fmt.Errorf("segment %d: max disp %d below resident disp %d", t.SegmentOf(home), got, s.Disp)
+		}
+	}
+	for seg, b := range t.overflow {
+		for _, e := range b {
+			if t.SegmentOf(e.Home) != seg {
+				return fmt.Errorf("overflow entry %d homed in segment %d stored in %d", e.Key, t.SegmentOf(e.Home), seg)
+			}
+			n++
+		}
+	}
+	if n != t.count {
+		return fmt.Errorf("count %d != resident %d", t.count, n)
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package robinhood
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfg(slots, dm int) Config {
+	c := DefaultConfig(slots)
+	c.MaxDisplacement = dm
+	return c
+}
+
+func TestInsertLookup(t *testing.T) {
+	tb := New(cfg(1024, 16))
+	for k := uint64(1); k <= 500; k++ {
+		if err := tb.Insert(k, []byte(fmt.Sprintf("v%d", k)), k); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if tb.Len() != 500 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	for k := uint64(1); k <= 500; k++ {
+		r := tb.Lookup(k)
+		if !r.Found || string(r.Value) != fmt.Sprintf("v%d", k) || r.Version != k {
+			t.Fatalf("lookup %d: %+v", k, r)
+		}
+	}
+	if tb.Lookup(9999).Found {
+		t.Fatal("found absent key")
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertExistingUpdates(t *testing.T) {
+	tb := New(cfg(64, 8))
+	check := func() {
+		r := tb.Lookup(7)
+		if !r.Found || string(r.Value) != "new" || r.Version != 2 {
+			t.Fatalf("lookup: %+v", r)
+		}
+		if tb.Len() != 1 {
+			t.Fatalf("len = %d", tb.Len())
+		}
+	}
+	tb.Insert(7, []byte("old"), 1)
+	tb.Insert(7, []byte("new"), 2)
+	check()
+}
+
+func TestUpdate(t *testing.T) {
+	tb := New(cfg(64, 8))
+	if tb.Update(1, []byte("x"), 1) {
+		t.Fatal("updated absent key")
+	}
+	tb.Insert(1, []byte("a"), 1)
+	if !tb.Update(1, []byte("b"), 2) {
+		t.Fatal("update failed")
+	}
+	r := tb.Lookup(1)
+	if string(r.Value) != "b" || r.Version != 2 {
+		t.Fatalf("after update: %+v", r)
+	}
+}
+
+func TestDisplacementLimitSendsToOverflow(t *testing.T) {
+	c := cfg(1024, 4)
+	tb := New(c)
+	rng := rand.New(rand.NewSource(3))
+	// Fill to 90%: with Dm=4 many keys must overflow.
+	n := 1024 * 9 / 10
+	keys := make([]uint64, 0, n)
+	for len(keys) < n {
+		k := rng.Uint64()
+		if err := tb.Insert(k, []byte("v"), 1); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	if tb.Stats().Overflows == 0 {
+		t.Fatal("no overflows at Dm=4, 90% occupancy")
+	}
+	for _, k := range keys {
+		if !tb.Lookup(k).Found {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnlimitedDisplacementNeverOverflows(t *testing.T) {
+	tb := New(cfg(1024, 0))
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		if err := tb.Insert(rng.Uint64(), []byte("v"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Stats().Overflows != 0 {
+		t.Fatalf("unlimited table overflowed %d times", tb.Stats().Overflows)
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := New(cfg(256, 8))
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tb.Insert(keys[i], []byte("v"), 1)
+	}
+	for i, k := range keys {
+		if !tb.Delete(k) {
+			t.Fatalf("delete %d failed", k)
+		}
+		if tb.Lookup(k).Found {
+			t.Fatalf("key %d survives deletion", k)
+		}
+		if err := tb.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+		// All remaining keys still reachable.
+		for _, k2 := range keys[i+1:] {
+			if !tb.Lookup(k2).Found {
+				t.Fatalf("deleting %d lost %d", k, k2)
+			}
+		}
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("len = %d after deleting all", tb.Len())
+	}
+	if tb.Delete(12345) {
+		t.Fatal("deleted absent key")
+	}
+}
+
+func TestDeletePullsFromOverflow(t *testing.T) {
+	tb := New(cfg(256, 4))
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]uint64, 230) // 90% of 256
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tb.Insert(keys[i], []byte("v"), 1)
+	}
+	if tb.Stats().Overflows == 0 {
+		t.Skip("seed produced no overflow")
+	}
+	for _, k := range keys {
+		tb.Delete(k)
+	}
+	if tb.Stats().OverflowSwapsIn == 0 {
+		t.Fatal("no deletion reused an overflow element")
+	}
+}
+
+func TestLargeObjectIndirection(t *testing.T) {
+	tb := New(cfg(64, 8))
+	big := make([]byte, 660) // TPC-C max object size
+	for i := range big {
+		big[i] = byte(i)
+	}
+	tb.Insert(42, big, 1)
+	r := tb.Lookup(42)
+	if !r.Found || len(r.Value) != 660 {
+		t.Fatalf("large lookup: found=%v len=%d", r.Found, len(r.Value))
+	}
+	// The slot itself must be a pointer, not the payload.
+	s := tb.ReadRegion(tb.Home(42), 1)[0]
+	if !s.Indirect || s.Value != nil {
+		t.Fatalf("large object stored inline: %+v", s)
+	}
+	if v, ok := tb.LargeValue(42); !ok || len(v) != 660 {
+		t.Fatal("LargeValue missing")
+	}
+	// Shrinking below threshold moves it back inline.
+	tb.Update(42, []byte("small"), 2)
+	s = tb.ReadRegion(tb.Home(42), 1)[0]
+	if s.Indirect {
+		t.Fatal("small value left indirect")
+	}
+	if _, ok := tb.LargeValue(42); ok {
+		t.Fatal("stale large value")
+	}
+}
+
+func TestOversizedInlineValuePanics(t *testing.T) {
+	c := cfg(64, 8)
+	c.InlineValueSize = 16
+	c.LargeThreshold = 64
+	tb := New(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 32B value with 16B slots and 64B threshold")
+		}
+	}()
+	tb.Insert(1, make([]byte, 32), 1)
+}
+
+func TestSegmentMaxDispTracksInserts(t *testing.T) {
+	tb := New(cfg(1024, 16))
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 900; i++ {
+		tb.Insert(rng.Uint64(), []byte("v"), 1)
+		if err := tb.CheckInvariants(); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	// Exact recomputation must match the incrementally maintained values.
+	for seg := 0; seg < tb.Segments(); seg++ {
+		got := tb.SegmentMaxDisp(seg)
+		tb.recomputeSegMax(seg)
+		if tb.SegmentMaxDisp(seg) != got {
+			t.Fatalf("segment %d: incremental %d != exact %d", seg, got, tb.SegmentMaxDisp(seg))
+		}
+	}
+}
+
+func TestReadRegionWraps(t *testing.T) {
+	tb := New(cfg(64, 8))
+	out := tb.ReadRegion(62, 4)
+	if len(out) != 4 {
+		t.Fatalf("region len %d", len(out))
+	}
+}
+
+func TestHashIsStable(t *testing.T) {
+	if Hash(1) == Hash(2) {
+		t.Fatal("trivial collision")
+	}
+	if Hash(42) != Hash(42) {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Slots: 64, SegmentSlots: 7}, // does not divide
+		{Slots: 64, SegmentSlots: 0}, // zero
+		{Slots: 64, SegmentSlots: 8, MaxDisplacement: -1},
+	}
+	for i, c := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d: no panic", i)
+				}
+			}()
+			New(c)
+		}()
+	}
+}
+
+// Property: a random interleaving of inserts, updates and deletes matches a
+// map model, and invariants hold throughout.
+func TestTableMatchesMapModel(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tb := New(cfg(256, 8))
+		model := map[uint64]uint64{} // key -> version
+		rng := rand.New(rand.NewSource(seed))
+		version := uint64(1)
+		for _, op := range ops {
+			key := uint64(op % 97) // small key space forces collisions
+			switch rng.Intn(3) {
+			case 0:
+				if tb.Len() < 220 {
+					version++
+					if tb.Insert(key, []byte{byte(version)}, version) != nil {
+						return false
+					}
+					model[key] = version
+				}
+			case 1:
+				version++
+				ok := tb.Update(key, []byte{byte(version)}, version)
+				if _, want := model[key]; ok != want {
+					return false
+				}
+				if ok {
+					model[key] = version
+				}
+			case 2:
+				ok := tb.Delete(key)
+				if _, want := model[key]; ok != want {
+					return false
+				}
+				delete(model, key)
+			}
+			if err := tb.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		if tb.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			r := tb.Lookup(k)
+			if !r.Found || r.Version != v {
+				return false
+			}
+		}
+		return true
+	}
+	c := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: displacement never exceeds the limit for any insertion order.
+func TestDisplacementBoundProperty(t *testing.T) {
+	f := func(keys []uint64) bool {
+		tb := New(cfg(128, 8))
+		for i, k := range keys {
+			if i >= 115 { // stay near but below capacity
+				break
+			}
+			if tb.Insert(k, []byte("v"), 1) != nil {
+				return false
+			}
+		}
+		return tb.CheckInvariants() == nil
+	}
+	c := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert90Percent(b *testing.B) {
+	tb := New(cfg(1<<20, 16))
+	rng := rand.New(rand.NewSource(1))
+	n := (1 << 20) * 9 / 10
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%n == 0 {
+			b.StopTimer()
+			tb = New(cfg(1<<20, 16))
+			b.StartTimer()
+		}
+		tb.Insert(keys[i%n], []byte("valuevalue"), 1)
+	}
+}
+
+func BenchmarkLookup90Percent(b *testing.B) {
+	tb := New(cfg(1<<20, 16))
+	rng := rand.New(rand.NewSource(1))
+	n := (1 << 20) * 9 / 10
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		tb.Insert(keys[i], []byte("valuevalue"), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(keys[i%n])
+	}
+}

@@ -1,0 +1,64 @@
+package txnmodel
+
+import (
+	"testing"
+
+	"xenic/internal/wire"
+)
+
+func TestTxnDescHelpers(t *testing.T) {
+	d := &TxnDesc{
+		ReadKeys:   []uint64{1, 2},
+		UpdateKeys: []uint64{3},
+		BlindWrites: []wire.KV{
+			{Key: 4, Value: []byte("v")},
+			{Key: 5, Value: []byte("w")},
+		},
+	}
+	if d.ReadOnly() {
+		t.Fatal("write transaction reported read-only")
+	}
+	wk := d.WriteKeys()
+	if len(wk) != 3 || wk[0] != 3 || wk[1] != 4 || wk[2] != 5 {
+		t.Fatalf("WriteKeys = %v", wk)
+	}
+	ro := &TxnDesc{ReadKeys: []uint64{1}}
+	if !ro.ReadOnly() {
+		t.Fatal("read transaction not read-only")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	fn := &ExecFunc{ID: 7, Run: func(state []byte, reads []wire.KV) ExecResult {
+		return ExecResult{}
+	}}
+	r.Register(fn)
+	got, ok := r.Get(7)
+	if !ok || got != fn {
+		t.Fatal("registered function not found")
+	}
+	if _, ok := r.Get(8); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+func TestRegistryRejectsReservedID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("id 0 accepted")
+		}
+	}()
+	NewRegistry().Register(&ExecFunc{ID: 0})
+}
+
+func TestRegistryRejectsDuplicate(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&ExecFunc{ID: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate id accepted")
+		}
+	}()
+	r.Register(&ExecFunc{ID: 1})
+}

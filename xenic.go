@@ -1,0 +1,135 @@
+// Package xenic is the public API of this Xenic reproduction: a simulated
+// SmartNIC-accelerated distributed transaction system (SOSP 2021).
+//
+// A Cluster is a simulated testbed of N servers, each with an on-path
+// SmartNIC, running Xenic's co-designed data store and multi-hop OCC commit
+// protocol over a calibrated network/PCIe model. Applications define
+// workloads (key placement, execution functions, transaction mix) through
+// the Workload interface and drive them in simulated time:
+//
+//	cl, _ := xenic.NewCluster(xenic.DefaultConfig(), myWorkload)
+//	res := cl.Measure(5*xenic.Millisecond, 20*xenic.Millisecond)
+//	fmt.Println(res.PerServerTput, res.Median)
+//
+// The same workloads run unchanged on the RDMA/RPC baseline systems the
+// paper compares against (DrTM+H, DrTM+H NC, FaSST, DrTM+R) via
+// NewBaseline, and the harness in cmd/xenic-bench regenerates every table
+// and figure of the paper's evaluation.
+package xenic
+
+import (
+	"xenic/internal/baseline"
+	"xenic/internal/core"
+	"xenic/internal/model"
+	"xenic/internal/sim"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+	"xenic/internal/workload/retwis"
+	"xenic/internal/workload/smallbank"
+	"xenic/internal/workload/tpcc"
+)
+
+// Time is simulated time (picosecond resolution).
+type Time = sim.Time
+
+// Convenient duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// KV is a versioned key-value pair.
+type KV = wire.KV
+
+// Txn describes one transaction: read-only keys, read-modify-write keys,
+// blind writes, and the registered execution function that computes write
+// values from read values.
+type Txn = txnmodel.TxnDesc
+
+// ExecFunc is a registered execution function; it may run on a host
+// thread, the coordinator SmartNIC, or a remote primary SmartNIC
+// (function shipping).
+type ExecFunc = txnmodel.ExecFunc
+
+// ExecResult is an execution function's output.
+type ExecResult = txnmodel.ExecResult
+
+// Registry holds a workload's execution functions.
+type Registry = txnmodel.Registry
+
+// Placement maps keys to shards and storage kinds.
+type Placement = txnmodel.Placement
+
+// StoreSpec sizes each node's store.
+type StoreSpec = txnmodel.StoreSpec
+
+// Workload supplies transactions to a cluster. See internal/workload for
+// the TPC-C, Retwis, and Smallbank implementations.
+type Workload = txnmodel.Generator
+
+// Config assembles a Xenic cluster.
+type Config = core.Config
+
+// Features toggles Xenic's design features (§5.7 ablations).
+type Features = core.Features
+
+// Result summarizes a measurement window.
+type Result = core.Result
+
+// Cluster is a simulated Xenic deployment.
+type Cluster = core.Cluster
+
+// DefaultConfig mirrors the paper's testbed: 6 servers, 3-way replication,
+// 100Gbps fabric, calibrated LiquidIO 3 SmartNICs.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// AllFeatures enables the full Xenic design.
+func AllFeatures() Features { return core.AllFeatures() }
+
+// DefaultParams returns the calibrated device model (§3).
+func DefaultParams() model.Params { return model.Default() }
+
+// NewCluster builds and populates a Xenic cluster running w.
+func NewCluster(cfg Config, w Workload) (*Cluster, error) { return core.New(cfg, w) }
+
+// Baseline selects one of the comparison systems (§5.1).
+type Baseline = baseline.System
+
+// Baseline systems.
+const (
+	DrTMH   = baseline.DrTMH
+	DrTMHNC = baseline.DrTMHNC
+	FaSST   = baseline.FaSST
+	DrTMR   = baseline.DrTMR
+)
+
+// BaselineConfig assembles a baseline cluster.
+type BaselineConfig = baseline.Config
+
+// BaselineCluster is a simulated baseline deployment.
+type BaselineCluster = baseline.Cluster
+
+// DefaultBaselineConfig mirrors the testbed for the given system.
+func DefaultBaselineConfig(sys Baseline) BaselineConfig { return baseline.DefaultConfig(sys) }
+
+// NewBaseline builds a baseline cluster running w.
+func NewBaseline(cfg BaselineConfig, w Workload) (*BaselineCluster, error) {
+	return baseline.New(cfg, w)
+}
+
+// TPCC returns the full TPC-C workload (§5.3).
+func TPCC() *tpcc.Gen { return tpcc.New() }
+
+// TPCCNewOrder returns the §5.2 new-order-only TPC-C variant.
+func TPCCNewOrder() *tpcc.Gen { return tpcc.NewOrderVariant() }
+
+// Retwis returns the Retwis workload (§5.4).
+func Retwis() *retwis.Gen { return retwis.New() }
+
+// Smallbank returns the Smallbank workload (§5.5).
+func Smallbank() *smallbank.Gen { return smallbank.New() }
+
+// NewRegistry returns an empty execution-function registry.
+func NewRegistry() *Registry { return txnmodel.NewRegistry() }

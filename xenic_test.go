@@ -1,0 +1,80 @@
+package xenic_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"xenic"
+)
+
+// tinyWorkload exercises the public API surface.
+type tinyWorkload struct{ keys int }
+
+type modPlace struct{ nodes int }
+
+func (p modPlace) ShardOf(key uint64) int  { return int(key % uint64(p.nodes)) }
+func (p modPlace) IsBTree(key uint64) bool { return false }
+
+func (w *tinyWorkload) Name() string { return "tiny" }
+func (w *tinyWorkload) Spec() xenic.StoreSpec {
+	return xenic.StoreSpec{HashSlots: w.keys * 2, InlineValueSize: 16, MaxDisplacement: 16,
+		NICCacheObjects: w.keys}
+}
+func (w *tinyWorkload) Placement(nodes, replication int) xenic.Placement {
+	return modPlace{nodes: nodes}
+}
+func (w *tinyWorkload) Register(r *xenic.Registry) {}
+func (w *tinyWorkload) Populate(shard, nodes int, emit func(uint64, []byte)) {
+	for k := shard; k < w.keys; k += nodes {
+		emit(uint64(k), []byte("hello"))
+	}
+}
+func (w *tinyWorkload) Measure(d *xenic.Txn) bool { return true }
+func (w *tinyWorkload) Next(node, thread int, rng *rand.Rand) *xenic.Txn {
+	return &xenic.Txn{ReadKeys: []uint64{uint64(rng.Intn(w.keys))}}
+}
+
+func TestPublicAPIXenicCluster(t *testing.T) {
+	cfg := xenic.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.AppThreads = 2
+	cfg.WorkerThreads = 1
+	cfg.NICCores = 4
+	cl, err := xenic.NewCluster(cfg, &tinyWorkload{keys: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Measure(1*xenic.Millisecond, 3*xenic.Millisecond)
+	if res.PerServerTput <= 0 || res.Median <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestPublicAPIBaselineCluster(t *testing.T) {
+	cfg := xenic.DefaultBaselineConfig(xenic.FaSST)
+	cfg.Nodes = 4
+	cfg.Threads = 4
+	cl, err := xenic.NewBaseline(cfg, &tinyWorkload{keys: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Measure(1*xenic.Millisecond, 3*xenic.Millisecond)
+	if res.PerServerTput <= 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+func TestPublicWorkloadConstructors(t *testing.T) {
+	if xenic.TPCC().Name() != "tpcc" ||
+		xenic.TPCCNewOrder().Name() != "tpcc-neworder" ||
+		xenic.Retwis().Name() != "retwis" ||
+		xenic.Smallbank().Name() != "smallbank" {
+		t.Fatal("workload constructors misnamed")
+	}
+	if xenic.DefaultParams().NICCores != 24 {
+		t.Fatal("default params not the LiquidIO testbed")
+	}
+	if !xenic.AllFeatures().MultiHopOCC {
+		t.Fatal("AllFeatures missing multi-hop")
+	}
+}
