@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced populations and windows (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	list := flag.Bool("list", false, "list experiments and exit")
+	statsOut := flag.String("stats", "", "write per-run stats-registry snapshots to this JSON file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xenic-bench [-quick] [-seed N] <experiment-id>... | all\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
@@ -49,16 +51,36 @@ func main() {
 	}
 
 	opt := harness.Options{Quick: *quick, Seed: *seed}
+	allStats := map[string]any{}
 	for _, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
+		o := opt
+		if *statsOut != "" {
+			o.Stats = harness.NewStatsCollector()
+		}
 		start := time.Now()
 		fmt.Printf("# %s (%s)\n# paper: %s\n", e.ID, e.Title, e.PaperRef)
-		r := e.Run(opt)
+		r := e.Run(o)
+		if o.Stats != nil {
+			r.Stats = o.Stats.Snaps
+			allStats[e.ID] = o.Stats.Snaps
+		}
 		r.Print(os.Stdout)
 		fmt.Printf("# wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *statsOut != "" {
+		b, err := json.MarshalIndent(allStats, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*statsOut, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,6 +4,9 @@
 //
 //	xenic-sim -workload smallbank -system xenic -window 128 -ms 20
 //	xenic-sim -workload tpcc -system drtmh -threads 16 -ms 10
+//
+// With -trace the run emits a Chrome trace-event JSON (open in Perfetto or
+// chrome://tracing); with -stats it writes a stats-registry snapshot.
 package main
 
 import (
@@ -30,6 +33,8 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "population scale vs the paper's sizing")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	oneLink := flag.Bool("one-link", false, "use one 50Gbps link per server (§5.3)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (xenic only)")
+	statsOut := flag.String("stats", "", "write a stats-registry JSON snapshot of the run")
 	flag.Parse()
 
 	var gen txnmodel.Generator
@@ -72,8 +77,20 @@ func main() {
 		}
 		cl, err := xenic.NewCluster(cfg, gen)
 		must(err)
+		var tr *xenic.Tracer
+		if *traceOut != "" {
+			tr = xenic.NewTracer()
+			cl.SetTracer(tr)
+		}
+		var reg *xenic.StatsRegistry
+		if *statsOut != "" {
+			reg = xenic.NewStatsRegistry()
+			cl.RegisterMetrics(reg)
+		}
 		res := cl.Measure(warm, win)
 		fmt.Printf("xenic/%s: %s\n", gen.Name(), res)
+		writeTrace(*traceOut, tr)
+		writeStats(*statsOut, reg)
 		return
 	}
 
@@ -102,9 +119,39 @@ func main() {
 	}
 	cl, err := xenic.NewBaseline(cfg, gen)
 	must(err)
+	if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "xenic-sim: -trace is only supported for -system xenic; ignoring")
+	}
+	var reg *xenic.StatsRegistry
+	if *statsOut != "" {
+		reg = xenic.NewStatsRegistry()
+		cl.RegisterMetrics(reg)
+	}
 	res := cl.Measure(warm, win)
-	fmt.Printf("%s/%s: tput=%.0f txn/s/server p50=%v p99=%v aborts=%d\n",
-		sys, gen.Name(), res.PerServerTput, res.Median, res.P99, res.Aborts)
+	fmt.Printf("%s/%s: %s\n", sys, gen.Name(), res)
+	writeStats(*statsOut, reg)
+}
+
+// writeTrace dumps tr as Chrome trace-event JSON to path (no-op when unset).
+func writeTrace(path string, tr *xenic.Tracer) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	must(err)
+	must(tr.WriteJSON(f))
+	must(f.Close())
+}
+
+// writeStats dumps the registry snapshot as JSON to path (no-op when unset).
+func writeStats(path string, reg *xenic.StatsRegistry) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	must(err)
+	must(reg.WriteJSON(f))
+	must(f.Close())
 }
 
 func scaleInt(v int, scale float64, min int) int {

@@ -29,6 +29,7 @@ import (
 	"xenic/internal/store/btree"
 	"xenic/internal/store/chained"
 	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
 )
 
 // System selects which baseline to run.
@@ -186,6 +187,8 @@ type Stats struct {
 	Aborts              int64
 	UpdateKeysCommitted int64
 	Latency             *metrics.Histogram
+	// AbortReasons breaks Aborts down by wire.Status.
+	AbortReasons [wire.NumStatuses]int64
 }
 
 // logRecord is a backup log entry.

@@ -157,6 +157,21 @@ type Result struct {
 	Median        sim.Time
 	P99           sim.Time
 	Mean          sim.Time
+	// Abort breakdown by reason.
+	AbortLocked  int64
+	AbortVersion int64
+	AbortMissing int64
+	AbortView    int64
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d",
+		r.PerServerTput, r.Median, r.P99, r.Aborts)
+	if r.Aborts > 0 {
+		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
+			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
+	}
+	return s + fmt.Sprintf(" failed=%d", r.Failed)
 }
 
 // Measure runs warmup, resets statistics, runs the window, aggregates.
@@ -165,10 +180,14 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		cl.Start()
 	}
 	cl.Run(warmup)
-	type snap struct{ committed, measured, aborts, failed int64 }
+	type snap struct {
+		committed, measured, aborts, failed int64
+		reasons                             [wire.NumStatuses]int64
+	}
 	snaps := make([]snap, len(cl.nodes))
 	for i, n := range cl.nodes {
-		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts, n.stats.Failed}
+		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts,
+			n.stats.Failed, n.stats.AbortReasons}
 		n.stats.Latency.Reset()
 	}
 	cl.Run(window)
@@ -179,6 +198,10 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		res.Measured += n.stats.Measured - snaps[i].measured
 		res.Aborts += n.stats.Aborts - snaps[i].aborts
 		res.Failed += n.stats.Failed - snaps[i].failed
+		res.AbortLocked += n.stats.AbortReasons[wire.StatusAbortLocked] - snaps[i].reasons[wire.StatusAbortLocked]
+		res.AbortVersion += n.stats.AbortReasons[wire.StatusAbortVersion] - snaps[i].reasons[wire.StatusAbortVersion]
+		res.AbortMissing += n.stats.AbortReasons[wire.StatusAbortMissing] - snaps[i].reasons[wire.StatusAbortMissing]
+		res.AbortView += n.stats.AbortReasons[wire.StatusAbortView] - snaps[i].reasons[wire.StatusAbortView]
 		lat.Merge(n.stats.Latency)
 	}
 	res.PerServerTput = float64(res.Measured) / window.Seconds() / float64(len(cl.nodes))
@@ -186,6 +209,93 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 	res.P99 = lat.Quantile(0.99)
 	res.Mean = lat.Mean()
 	return res
+}
+
+// RegisterMetrics registers the cluster's counters into reg: per-node
+// transaction outcomes, abort reasons, latency, and RDMA verb/byte
+// counters, plus cluster-wide aggregates under "cluster.".
+func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	rdmaSnap := func(s rdma.Stats) map[string]any {
+		return map[string]any{
+			"reads":     s.Reads,
+			"writes":    s.Writes,
+			"atomics":   s.Atomics,
+			"sends":     s.Sends,
+			"bytes_out": s.BytesOut,
+		}
+	}
+	for _, n := range cl.nodes {
+		n := n
+		sub := reg.Sub(fmt.Sprintf("node%d", n.id))
+		sub.RegisterFunc("txn", func() any { return n.stats.txnSnapshot() })
+		sub.RegisterFunc("aborts_by_reason", func() any { return abortReasonMap(n.stats.AbortReasons) })
+		sub.RegisterHistogram("latency", n.stats.Latency)
+		sub.RegisterFunc("rdma", func() any { return rdmaSnap(n.rnic.Stats()) })
+	}
+	agg := reg.Sub("cluster")
+	agg.RegisterFunc("txn", func() any {
+		var s Stats
+		for _, n := range cl.nodes {
+			s.Committed += n.stats.Committed
+			s.Measured += n.stats.Measured
+			s.Aborts += n.stats.Aborts
+			s.Failed += n.stats.Failed
+		}
+		return s.txnSnapshot()
+	})
+	agg.RegisterFunc("aborts_by_reason", func() any {
+		var reasons [wire.NumStatuses]int64
+		for _, n := range cl.nodes {
+			for i, v := range n.stats.AbortReasons {
+				reasons[i] += v
+			}
+		}
+		return abortReasonMap(reasons)
+	})
+	agg.RegisterFunc("rdma", func() any {
+		var s rdma.Stats
+		for _, n := range cl.nodes {
+			ns := n.rnic.Stats()
+			s.Reads += ns.Reads
+			s.Writes += ns.Writes
+			s.Atomics += ns.Atomics
+			s.Sends += ns.Sends
+			s.BytesOut += ns.BytesOut
+		}
+		return rdmaSnap(s)
+	})
+	agg.RegisterFunc("latency", func() any {
+		m := metrics.NewHistogram()
+		for _, n := range cl.nodes {
+			m.Merge(n.stats.Latency)
+		}
+		return m.Snapshot()
+	})
+}
+
+func (s *Stats) txnSnapshot() map[string]any {
+	return map[string]any{
+		"committed": s.Committed,
+		"measured":  s.Measured,
+		"aborts":    s.Aborts,
+		"failed":    s.Failed,
+	}
+}
+
+// abortReasonMap keys non-zero abort counts by status name, skipping the
+// StatusOK slot.
+func abortReasonMap(reasons [wire.NumStatuses]int64) map[string]int64 {
+	out := map[string]int64{}
+	for i, v := range reasons {
+		if wire.Status(i) == wire.StatusOK || v == 0 {
+			continue
+		}
+		out[wire.Status(i).String()] = v
+	}
+	return out
 }
 
 // ReadKey reads a key from its primary (for tests).

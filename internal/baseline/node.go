@@ -326,6 +326,9 @@ func (n *Node) completeTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
 // retryTxn re-queues with backoff.
 func (n *Node) retryTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
 	n.stats.Aborts++
+	if int(st) < len(n.stats.AbortReasons) {
+		n.stats.AbortReasons[st]++
+	}
 	tx.retries++
 	at := n.app[txnThread(tx.id)]
 	if tx.retries > n.cl.cfg.MaxRetries {

@@ -11,6 +11,7 @@ import (
 	"xenic/internal/simnet"
 	"xenic/internal/store/btree"
 	"xenic/internal/store/nicindex"
+	"xenic/internal/trace"
 	"xenic/internal/txnmodel"
 	"xenic/internal/wire"
 )
@@ -31,6 +32,8 @@ type Cluster struct {
 
 	mgr  *membership.Manager
 	view membership.View
+
+	tracer *trace.Tracer // nil unless SetTracer attached one
 }
 
 // primaryNode is the node currently serving shard s.
@@ -83,6 +86,9 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 			alive:         true,
 		}
 		n.stats.Latency = metrics.NewHistogram()
+		for i := range n.stats.PhaseLat {
+			n.stats.PhaseLat[i] = metrics.NewHistogram()
+		}
 		for s := 0; s < cfg.Nodes; s++ {
 			for _, b := range cfg.backupsOf(s) {
 				if b == id {
@@ -212,11 +218,21 @@ type Result struct {
 	Median        sim.Time
 	P99           sim.Time
 	Mean          sim.Time
+	// Abort breakdown by reason.
+	AbortLocked  int64
+	AbortVersion int64
+	AbortMissing int64
+	AbortView    int64
 }
 
 func (r Result) String() string {
-	return fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d failed=%d",
-		r.PerServerTput, r.Median, r.P99, r.Aborts, r.Failed)
+	s := fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d",
+		r.PerServerTput, r.Median, r.P99, r.Aborts)
+	if r.Aborts > 0 {
+		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
+			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
+	}
+	return s + fmt.Sprintf(" failed=%d", r.Failed)
 }
 
 // Measure runs warmup, resets statistics, runs the measurement window, and
@@ -226,11 +242,18 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		cl.Start()
 	}
 	cl.Run(warmup)
-	type snap struct{ committed, measured, aborts, failed int64 }
+	type snap struct {
+		committed, measured, aborts, failed int64
+		reasons                             [wire.NumStatuses]int64
+	}
 	snaps := make([]snap, len(cl.nodes))
 	for i, n := range cl.nodes {
-		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts, n.stats.Failed}
+		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts,
+			n.stats.Failed, n.stats.AbortReasons}
 		n.stats.Latency.Reset()
+		for _, h := range n.stats.PhaseLat {
+			h.Reset()
+		}
 	}
 	cl.Run(window)
 	res := Result{Duration: window}
@@ -240,6 +263,10 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		res.Measured += n.stats.Measured - snaps[i].measured
 		res.Aborts += n.stats.Aborts - snaps[i].aborts
 		res.Failed += n.stats.Failed - snaps[i].failed
+		res.AbortLocked += n.stats.AbortReasons[wire.StatusAbortLocked] - snaps[i].reasons[wire.StatusAbortLocked]
+		res.AbortVersion += n.stats.AbortReasons[wire.StatusAbortVersion] - snaps[i].reasons[wire.StatusAbortVersion]
+		res.AbortMissing += n.stats.AbortReasons[wire.StatusAbortMissing] - snaps[i].reasons[wire.StatusAbortMissing]
+		res.AbortView += n.stats.AbortReasons[wire.StatusAbortView] - snaps[i].reasons[wire.StatusAbortView]
 		lat.Merge(n.stats.Latency)
 	}
 	res.PerServerTput = float64(res.Measured) / window.Seconds() / float64(len(cl.nodes))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"xenic/internal/nicrt"
+	"xenic/internal/sim"
 	"xenic/internal/store/nicindex"
 	"xenic/internal/txnmodel"
 	"xenic/internal/wire"
@@ -25,16 +26,19 @@ const (
 	phLog
 	phCommit
 	phShipped
+
+	numPhases = int(phShipped) + 1
 )
 
 // ctxn is one in-flight transaction's coordinator state, resident in
 // SmartNIC memory.
 type ctxn struct {
-	id     uint64
-	desc   *txnmodel.TxnDesc
-	phase  phase
-	failed wire.Status
-	dead   bool // view change aborted this transaction; drop stragglers
+	id      uint64
+	desc    *txnmodel.TxnDesc
+	phase   phase
+	phaseAt sim.Time // when the current phase began (latency accounting)
+	failed  wire.Status
+	dead    bool // view change aborted this transaction; drop stragglers
 
 	reads     map[uint64]wire.KV // accumulated read values (all shards)
 	readOrder []uint64           // fn-input key order across execution rounds
@@ -94,6 +98,7 @@ func (n *Node) coordStart(c *nicrt.Core, m *wire.TxnRequest) {
 	t := n.newCtxn(m)
 	t.nicExec = t.desc.NICExec && n.cl.cfg.Features.NICExecution && t.desc.FnID != 0
 	n.ctxns[t.id] = t
+	n.openTxn(t)
 
 	// Coordinator-local B+tree blind writes (TPC-C order/order-line
 	// inserts, district updates) are locked and version-checked in the NIC
@@ -174,7 +179,7 @@ func (n *Node) shipTarget(d *txnmodel.TxnDesc) (int, bool) {
 // keys, one per shard — or per key when SmartRemoteOps is disabled,
 // mirroring one-sided RDMA's separate read/lock operations (§5.7).
 func (n *Node) execRound(c *nicrt.Core, t *ctxn, readKeys, lockKeys []uint64) {
-	t.phase = phExecute
+	n.setPhase(t, phExecute)
 	type part struct{ reads, locks []uint64 }
 	parts := map[int]*part{}
 	shardPart := func(s int) *part {
@@ -324,7 +329,7 @@ func (n *Node) afterExec(c *nicrt.Core, t *ctxn) {
 		n.prepareCommit(c, t, res.Writes)
 		return
 	}
-	t.phase = phHostExec
+	n.setPhase(t, phHostExec)
 	c.SendHost(&wire.ReadReturn{
 		Header: wire.Header{TxnID: t.id, Src: uint8(n.id)},
 		Items:  n.readsInOrder(t),
@@ -434,7 +439,7 @@ func (n *Node) keyLocked(t *ctxn, key uint64) bool {
 // write locks (§4.2 step 4). Read-only single-key transactions skip it:
 // their single read is already atomic.
 func (n *Node) validate(c *nicrt.Core, t *ctxn) {
-	t.phase = phValidate
+	n.setPhase(t, phValidate)
 	writeKeys := map[uint64]bool{}
 	for _, kv := range t.writes {
 		writeKeys[kv.Key] = true
@@ -520,6 +525,7 @@ func (n *Node) afterValidate(c *nicrt.Core, t *ctxn) {
 	if len(t.writes) == 0 {
 		// Read-only transaction completes after validation (§4.2 step 5).
 		n.finishTxn(c, t, wire.StatusOK)
+		n.closeTxn(t, wire.StatusOK)
 		delete(n.ctxns, t.id)
 		return
 	}
@@ -529,7 +535,7 @@ func (n *Node) afterValidate(c *nicrt.Core, t *ctxn) {
 // logPhase replicates the write set to every surviving backup of every
 // write shard (§4.2 step 5).
 func (n *Node) logPhase(c *nicrt.Core, t *ctxn) {
-	t.phase = phLog
+	n.setPhase(t, phLog)
 	byShard := groupByShard(n.place(), t.writes)
 	t.pending = 0
 	for _, sw := range byShard {
@@ -609,7 +615,7 @@ func (n *Node) notifyLogCommits(c *nicrt.Core, txn uint64, writes []wire.KV) {
 func (n *Node) committed(c *nicrt.Core, t *ctxn) {
 	n.finishTxn(c, t, wire.StatusOK)
 	n.notifyLogCommits(c, t.id, t.writes)
-	t.phase = phCommit
+	n.setPhase(t, phCommit)
 	byShard := groupByShard(n.place(), t.writes)
 	t.pending = len(byShard)
 	for _, sw := range byShard {
@@ -644,6 +650,7 @@ func (n *Node) coordCommitPart(c *nicrt.Core, t *ctxn) {
 	if t.pending > 0 {
 		return
 	}
+	n.closeTxn(t, wire.StatusOK)
 	delete(n.ctxns, t.id)
 }
 
@@ -673,7 +680,9 @@ func (n *Node) abortTxn(c *nicrt.Core, t *ctxn) {
 			LockedKeys: keys,
 		})
 	}
+	n.traceAbort(t)
 	n.finishTxn(c, t, t.failed)
+	n.closeTxn(t, t.failed)
 	delete(n.ctxns, t.id)
 }
 
@@ -694,7 +703,7 @@ func (n *Node) finishTxn(c *nicrt.Core, t *ctxn, st wire.Status) {
 // shipTxn locks and reads the local part at this coordinator NIC, then
 // ships execution to the remote primary node.
 func (n *Node) shipTxn(c *nicrt.Core, t *ctxn, dst int) {
-	t.phase = phShipped
+	n.setPhase(t, phShipped)
 	t.shipTo = dst
 
 	// Lock-all on local keys (reads too: the shipped path skips
@@ -804,7 +813,9 @@ func (n *Node) coordShipResult(c *nicrt.Core, m *wire.ShipResult) {
 	if m.Status != wire.StatusOK {
 		n.unlockLocalSet(c, t)
 		t.failed = m.Status
+		n.traceAbort(t)
 		n.finishTxn(c, t, m.Status)
+		n.closeTxn(t, m.Status)
 		delete(n.ctxns, t.id)
 		return
 	}
@@ -848,7 +859,7 @@ func (n *Node) maybeFinishShipped(c *nicrt.Core, t *ctxn) {
 	n.notifyLogCommits(c, t.id, t.shipped.Writes)
 
 	byShard := groupByShard(n.place(), t.shipped.Writes)
-	t.phase = phCommit
+	n.setPhase(t, phCommit)
 	t.pending = 0
 	localUnlocked := false
 	remoteCovered := false
@@ -880,6 +891,7 @@ func (n *Node) maybeFinishShipped(c *nicrt.Core, t *ctxn) {
 		c.Send(t.shipTo, &wire.Abort{Header: wire.Header{TxnID: t.id, Src: uint8(n.id)}})
 	}
 	if t.pending == 0 {
+		n.closeTxn(t, wire.StatusOK)
 		delete(n.ctxns, t.id)
 	}
 }
@@ -897,6 +909,7 @@ func (n *Node) coordLocalCommit(c *nicrt.Core, m *wire.TxnRequest) {
 		locked: map[int][]uint64{},
 	}
 	n.ctxns[t.id] = t
+	n.openTxn(t)
 
 	abort := func(st wire.Status) {
 		t.failed = st

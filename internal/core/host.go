@@ -354,6 +354,9 @@ func (n *Node) completeTxn(t *hostrt.Thread, at *appThread, tx *appTxn,
 // the retry cap.
 func (n *Node) retryTxn(t *hostrt.Thread, at *appThread, tx *appTxn, st wire.Status) {
 	n.stats.Aborts++
+	if int(st) < len(n.stats.AbortReasons) {
+		n.stats.AbortReasons[st]++
+	}
 	tx.retries++
 	if tx.retries > n.cl.cfg.MaxRetries {
 		n.completeTxn(t, at, tx, st, nil)

@@ -32,6 +32,10 @@ type Stats struct {
 	// sums) to detect lost or duplicated updates.
 	UpdateKeysCommitted int64
 	Latency             *metrics.Histogram
+	// AbortReasons breaks Aborts down by wire.Status.
+	AbortReasons [wire.NumStatuses]int64
+	// PhaseLat records simulated time spent in each coordinator phase.
+	PhaseLat [numPhases]*metrics.Histogram
 }
 
 // primaryShard is one shard this node currently serves as primary: its data

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/metrics"
+	"xenic/internal/store/nicindex"
+	"xenic/internal/trace"
+	"xenic/internal/wire"
+)
+
+// This file wires the cluster into the observability layer: the
+// per-transaction tracer (phase spans, abort instants, lock transitions)
+// and the stats registry (per-node transaction outcomes, phase latencies,
+// NIC index and runtime counters). Everything here is nil-safe: with no
+// tracer and no registry attached, the instrumented paths cost one branch.
+
+func (p phase) String() string {
+	switch p {
+	case phExecute:
+		return "execute"
+	case phHostExec:
+		return "host-exec"
+	case phValidate:
+		return "validate"
+	case phLog:
+		return "log"
+	case phCommit:
+		return "commit"
+	case phShipped:
+		return "shipped"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// SetTracer attaches tr to the cluster (nil disables tracing). Call after
+// New and before Start, so instrumentation sees all traffic. Host threads
+// appear as trace tids hostTidBase+i, NIC cores as tids 0..NICCores-1.
+func (cl *Cluster) SetTracer(tr *trace.Tracer) {
+	cl.tracer = tr
+	for _, n := range cl.nodes {
+		n.nic.SetTracer(tr)
+		n.installLockTrace()
+	}
+	if !tr.Enabled() {
+		return
+	}
+	for _, n := range cl.nodes {
+		tr.MetaProcess(n.id, fmt.Sprintf("node%d", n.id))
+		for c := 0; c < cl.cfg.NICCores; c++ {
+			tr.MetaThread(n.id, c, fmt.Sprintf("nic-core%d", c))
+		}
+		for h := 0; h < cl.cfg.AppThreads+cl.cfg.WorkerThreads; h++ {
+			name := fmt.Sprintf("host-app%d", h)
+			if h >= cl.cfg.AppThreads {
+				name = fmt.Sprintf("host-worker%d", h-cl.cfg.AppThreads)
+			}
+			tr.MetaThread(n.id, hostTidBase+h, name)
+		}
+	}
+}
+
+// hostTidBase offsets host-thread trace tids past the NIC-core tids.
+const hostTidBase = 64
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (cl *Cluster) Tracer() *trace.Tracer { return cl.tracer }
+
+// tr returns the cluster tracer for node-side instrumentation.
+func (n *Node) tr() *trace.Tracer { return n.cl.tracer }
+
+// installLockTrace hooks every primary index this node serves so lock
+// transitions land in the trace. Installed only when tracing: the hook
+// closure allocates argument maps.
+func (n *Node) installLockTrace() {
+	for s, p := range n.prims {
+		n.hookIndex(s, p.index)
+	}
+}
+
+// hookIndex installs the lock-transition hook on one shard's index (also
+// called when recovery builds an index for an adopted shard).
+func (n *Node) hookIndex(shard int, idx *nicindex.Index) {
+	tr := n.tr()
+	if !tr.Enabled() {
+		idx.SetLockTrace(nil)
+		return
+	}
+	eng := n.cl.eng
+	idx.SetLockTrace(func(op string, key, owner uint64, ok bool) {
+		name := op
+		if !ok {
+			name = op + "-fail"
+		}
+		tr.Instant("lock", name, n.id, 0, eng.Now(),
+			trace.Args{"key": key, "shard": shard, "txn": owner})
+	})
+}
+
+// openTxn starts phase accounting and the transaction's trace span. The
+// span opens at the coordinator NIC (coordStart), where the ctxn is born.
+func (n *Node) openTxn(t *ctxn) {
+	now := n.cl.eng.Now()
+	t.phaseAt = now
+	if tr := n.tr(); tr.Enabled() {
+		tr.BeginAsync("txn", "txn", t.id, n.id, now, nil)
+		tr.BeginAsync("phase", t.phase.String(), t.id, n.id, now, nil)
+	}
+}
+
+// setPhase moves t to ph, recording the closing phase's simulated duration.
+func (n *Node) setPhase(t *ctxn, ph phase) {
+	now := n.cl.eng.Now()
+	if h := n.stats.PhaseLat[t.phase]; h != nil {
+		h.Record(now - t.phaseAt)
+	}
+	if tr := n.tr(); tr.Enabled() {
+		tr.EndAsync("phase", t.phase.String(), t.id, n.id, now, nil)
+		tr.BeginAsync("phase", ph.String(), t.id, n.id, now, nil)
+	}
+	t.phase = ph
+	t.phaseAt = now
+}
+
+// closeTxn finishes accounting when the coordinator drops t's state. Call
+// exactly once per ctxn, immediately before deleting it from n.ctxns.
+func (n *Node) closeTxn(t *ctxn, st wire.Status) {
+	now := n.cl.eng.Now()
+	if h := n.stats.PhaseLat[t.phase]; h != nil {
+		h.Record(now - t.phaseAt)
+	}
+	if tr := n.tr(); tr.Enabled() {
+		tr.EndAsync("phase", t.phase.String(), t.id, n.id, now, nil)
+		tr.EndAsync("txn", "txn", t.id, n.id, now, trace.Args{"status": st.String()})
+	}
+}
+
+// traceAbort emits the abort instant with its reason.
+func (n *Node) traceAbort(t *ctxn) {
+	if tr := n.tr(); tr.Enabled() {
+		tr.Instant("txn", "abort", n.id, 0, n.cl.eng.Now(),
+			trace.Args{"reason": t.failed.String(), "txn": t.id})
+	}
+}
+
+// RegisterMetrics registers the cluster's counters into reg: per-node
+// transaction outcomes, abort reasons, phase and end-to-end latency
+// histograms, NIC index counters, and the NIC runtime's batching and PCIe
+// counters — plus cluster-wide aggregates under "cluster.".
+func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, n := range cl.nodes {
+		n := n
+		sub := reg.Sub(fmt.Sprintf("node%d", n.id))
+		sub.RegisterFunc("txn", func() any { return n.stats.txnSnapshot() })
+		sub.RegisterFunc("aborts_by_reason", func() any { return abortReasonMap(n.stats.AbortReasons) })
+		sub.RegisterHistogram("latency", n.stats.Latency)
+		for ph := 0; ph < numPhases; ph++ {
+			sub.RegisterHistogram("phase."+phase(ph).String(), n.stats.PhaseLat[ph])
+		}
+		sub.RegisterFunc("nicindex", func() any {
+			var agg nicindex.Stats
+			for _, p := range n.prims {
+				agg.Merge(p.index.Stats())
+			}
+			return agg.Snapshot()
+		})
+		n.nic.RegisterMetrics(sub.Sub("nic"))
+	}
+	agg := reg.Sub("cluster")
+	agg.RegisterFunc("txn", func() any {
+		var s Stats
+		for _, n := range cl.nodes {
+			s.Committed += n.stats.Committed
+			s.Measured += n.stats.Measured
+			s.Aborts += n.stats.Aborts
+			s.Failed += n.stats.Failed
+		}
+		return s.txnSnapshot()
+	})
+	agg.RegisterFunc("aborts_by_reason", func() any {
+		var reasons [wire.NumStatuses]int64
+		for _, n := range cl.nodes {
+			for i, v := range n.stats.AbortReasons {
+				reasons[i] += v
+			}
+		}
+		return abortReasonMap(reasons)
+	})
+	for ph := 0; ph < numPhases; ph++ {
+		ph := ph
+		agg.RegisterFunc("phase."+phase(ph).String(), func() any {
+			m := metrics.NewHistogram()
+			for _, n := range cl.nodes {
+				m.Merge(n.stats.PhaseLat[ph])
+			}
+			return m.Snapshot()
+		})
+	}
+	agg.RegisterFunc("latency", func() any {
+		m := metrics.NewHistogram()
+		for _, n := range cl.nodes {
+			m.Merge(n.stats.Latency)
+		}
+		return m.Snapshot()
+	})
+}
+
+func (s *Stats) txnSnapshot() map[string]any {
+	return map[string]any{
+		"committed": s.Committed,
+		"measured":  s.Measured,
+		"aborts":    s.Aborts,
+		"failed":    s.Failed,
+	}
+}
+
+// abortReasonMap keys non-zero abort counts by status name, skipping the
+// StatusOK slot.
+func abortReasonMap(reasons [wire.NumStatuses]int64) map[string]int64 {
+	out := map[string]int64{}
+	for i, v := range reasons {
+		if wire.Status(i) == wire.StatusOK || v == 0 {
+			continue
+		}
+		out[wire.Status(i).String()] = v
+	}
+	return out
+}

@@ -77,11 +77,12 @@ func (n *Node) abortInFlight(c *nicrt.Core) {
 			// primaries complete on their own (they need no coordinator
 			// state); commits destined for the dead node are recovered
 			// from the backups' logs. Just drop the state.
+			n.closeTxn(t, wire.StatusOK)
 			delete(n.ctxns, t.id)
 			continue
 		}
 		if t.failed == wire.StatusOK {
-			t.failed = wire.StatusAbortLocked
+			t.failed = wire.StatusAbortView
 		}
 		if t.phase == phShipped && n.cl.nodes[t.shipTo].alive {
 			// Release any lock-all state at the remote primary.
@@ -136,7 +137,9 @@ func (n *Node) abortInFlight(c *nicrt.Core) {
 				}
 			}
 		}
+		n.traceAbort(t)
 		n.finishTxn(c, t, t.failed)
+		n.closeTxn(t, t.failed)
 		delete(n.ctxns, t.id)
 	}
 	// Shipped transactions from dead coordinators may hold lock-all state
@@ -181,6 +184,7 @@ func (n *Node) adoptShards(c *nicrt.Core, v membership.View) {
 		}
 		idx := nicindex.New(data.Hash, n.cl.cacheCap(), 1)
 		idx.SyncHints()
+		n.hookIndex(s, idx)
 		n.prims[s] = &primaryShard{data: data, index: idx, ready: false}
 
 		// Decide every undecided record for the shard. Records from DEAD

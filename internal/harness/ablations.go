@@ -68,6 +68,7 @@ func runAblateCache(opt Options) *Report {
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
+		opt.Stats.Snap(fmt.Sprintf("ablate-cache/%.3f", f), cl.RegisterMetrics)
 		var hits, lookups int64
 		for i := 0; i < cl.Nodes(); i++ {
 			s := cl.Node(i).Index().Stats()

@@ -137,6 +137,7 @@ func runXenicCurve(s workloadSetup, opt Options, windows []int, warm, win sim.Ti
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
+		opt.Stats.Snap(fmt.Sprintf("%s/xenic/w%d", s.name, w), cl.RegisterMetrics)
 		out = append(out, point{window: w, tput: res.PerServerTput, median: res.Median})
 	}
 	return out
@@ -154,6 +155,7 @@ func runBaselineCurve(sys baseline.System, s workloadSetup, opt Options, windows
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
+		opt.Stats.Snap(fmt.Sprintf("%s/%s/w%d", s.name, sys, w), cl.RegisterMetrics)
 		out = append(out, point{window: w, tput: res.PerServerTput, median: res.Median})
 	}
 	return out
@@ -282,7 +284,9 @@ func runOneLinkXenic(s workloadSetup, opt Options, warm, win sim.Time) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return cl.Measure(warm, win).PerServerTput
+	res := cl.Measure(warm, win)
+	opt.Stats.Snap(s.name+"/xenic/one-link", cl.RegisterMetrics)
+	return res.PerServerTput
 }
 
 func runOneLinkDrTMR(s workloadSetup, opt Options, warm, win sim.Time) float64 {
@@ -295,5 +299,7 @@ func runOneLinkDrTMR(s workloadSetup, opt Options, warm, win sim.Time) float64 {
 	if err != nil {
 		panic(err)
 	}
-	return cl.Measure(warm, win).PerServerTput
+	res := cl.Measure(warm, win)
+	opt.Stats.Snap(s.name+"/DrTM+R/one-link", cl.RegisterMetrics)
+	return res.PerServerTput
 }

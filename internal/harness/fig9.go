@@ -60,6 +60,7 @@ func runFig9a(opt Options) *Report {
 		panic(err)
 	}
 	dres := dcl.Measure(warm, win)
+	opt.Stats.Snap("fig9a/DrTM+H", dcl.RegisterMetrics)
 	r.AddRow("DrTM+H", ktps(dres.PerServerTput), "-", "1.00x")
 
 	var base float64
@@ -74,6 +75,7 @@ func runFig9a(opt Options) *Report {
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
+		opt.Stats.Snap("fig9a/"+st.name, cl.RegisterMetrics)
 		if i == 0 {
 			base = res.PerServerTput
 		}
@@ -123,6 +125,7 @@ func runFig9b(opt Options) *Report {
 		panic(err)
 	}
 	dres := dcl.Measure(warm, win)
+	opt.Stats.Snap("fig9b/DrTM+H", dcl.RegisterMetrics)
 	r.AddRow("DrTM+H", us(dres.Median), "-", "1.00x")
 
 	var base sim.Time
@@ -137,6 +140,7 @@ func runFig9b(opt Options) *Report {
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
+		opt.Stats.Snap("fig9b/"+st.name, cl.RegisterMetrics)
 		if i == 0 {
 			base = res.Median
 		}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 
+	"xenic/internal/metrics"
 	"xenic/internal/sim"
 )
 
@@ -20,6 +21,39 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Stats, when non-nil, collects a stats-registry snapshot from every
+	// cluster the experiment measures (cmd/xenic-bench -stats).
+	Stats *StatsCollector
+}
+
+// StatsCollector accumulates one stats-registry snapshot per cluster run.
+// Attach one via Options.Stats to have every figure/table run record its
+// metrics; cmd/xenic-bench -stats writes the union as one JSON document.
+type StatsCollector struct {
+	Snaps map[string]any
+}
+
+// NewStatsCollector returns an empty collector.
+func NewStatsCollector() *StatsCollector { return &StatsCollector{Snaps: map[string]any{}} }
+
+// Snap builds a fresh registry for a just-measured cluster via register and
+// stores its snapshot under label. A nil collector ignores the call, so
+// runners invoke it unconditionally after each Measure; registration is
+// lazy, so attaching after the run costs nothing during it.
+func (c *StatsCollector) Snap(label string, register func(*metrics.Registry)) {
+	if c == nil {
+		return
+	}
+	reg := metrics.NewRegistry()
+	register(reg)
+	key := label
+	for i := 2; ; i++ {
+		if _, dup := c.Snaps[key]; !dup {
+			break
+		}
+		key = fmt.Sprintf("%s#%d", label, i)
+	}
+	c.Snaps[key] = reg.Snapshot()
 }
 
 // DefaultOptions returns full-scale settings.
@@ -34,6 +68,9 @@ type Report struct {
 	Rows   [][]string
 	// Notes carry paper-vs-measured commentary.
 	Notes []string
+	// Stats holds the per-run stats-registry snapshots collected through
+	// Options.Stats, keyed by run label.
+	Stats map[string]any
 }
 
 // AddRow appends a formatted row.

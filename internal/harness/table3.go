@@ -59,7 +59,9 @@ func runTable3(opt Options) *Report {
 			if err != nil {
 				panic(err)
 			}
-			return cl.Measure(warm, win).PerServerTput
+			res := cl.Measure(warm, win)
+			opt.Stats.Snap(fmt.Sprintf("table3/%s/xenic/h%d-n%d", names[id], host, nic), cl.RegisterMetrics)
+			return res.PerServerTput
 		}
 		maxHost, maxNIC := 24, 24
 		if opt.Quick {
@@ -81,7 +83,9 @@ func runTable3(opt Options) *Report {
 				if err != nil {
 					panic(err)
 				}
-				return cl.Measure(warm, win).PerServerTput
+				res := cl.Measure(warm, win)
+				opt.Stats.Snap(fmt.Sprintf("table3/%s/%s/t%d", names[id], sys, th), cl.RegisterMetrics)
+				return res.PerServerTput
 			}
 			maxTh := 32
 			if opt.Quick {

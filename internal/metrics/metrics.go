@@ -11,11 +11,14 @@ import (
 	"xenic/internal/sim"
 )
 
-// Histogram records latency samples with logarithmic buckets from 1ns to
-// ~17s (2^34 ns), giving <=0.8% relative quantile error with 8 sub-buckets
-// per octave while using constant memory.
+// numBuckets is the histogram bucket count: logarithmic buckets from 1ns to
+// ~17s (2^34 ns) with 8 sub-buckets per octave.
+const numBuckets = 34 * 8
+
+// Histogram records latency samples with logarithmic buckets, giving <=0.8%
+// relative quantile error while using constant memory.
 type Histogram struct {
-	buckets [34 * 8]int64
+	buckets [numBuckets]int64
 	count   int64
 	sum     sim.Time
 	min     sim.Time
@@ -36,8 +39,8 @@ func bucketOf(d sim.Time) int {
 	if b < 0 {
 		b = 0
 	}
-	if b >= len((&Histogram{}).buckets) {
-		b = len((&Histogram{}).buckets) - 1
+	if b >= numBuckets {
+		b = numBuckets - 1
 	}
 	return b
 }
@@ -145,6 +148,94 @@ func (h *Histogram) Merge(o *Histogram) {
 
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d p50=%v p99=%v mean=%v", h.count, h.Median(), h.Quantile(0.99), h.Mean())
+}
+
+// Snapshot summarizes the histogram as a JSON-ready document: sample count
+// and latency quantiles in microseconds. The stats registry serializes it
+// into the per-run stats file.
+func (h *Histogram) Snapshot() map[string]any {
+	return map[string]any{
+		"count":   h.count,
+		"mean_us": h.Mean().Micros(),
+		"p50_us":  h.Median().Micros(),
+		"p90_us":  h.Quantile(0.90).Micros(),
+		"p99_us":  h.Quantile(0.99).Micros(),
+		"min_us":  h.Min().Micros(),
+		"max_us":  h.Max().Micros(),
+	}
+}
+
+// intHistDirect is the number of directly-counted values in an IntHist;
+// larger values share one overflow bucket.
+const intHistDirect = 64
+
+// IntHist is a distribution over small non-negative integers (batch sizes,
+// gather-list lengths, DMA vector occupancies): values 0..intHistDirect-1
+// count exactly, larger ones land in an overflow bucket. Recording is two
+// array updates, cheap enough to stay always-on in NIC hot paths.
+type IntHist struct {
+	buckets  [intHistDirect + 1]int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// Record adds one observation (negative values clamp to 0).
+func (h *IntHist) Record(v int) {
+	x := int64(v)
+	if x < 0 {
+		x = 0
+	}
+	b := x
+	if b >= intHistDirect {
+		b = intHistDirect
+	}
+	h.buckets[b]++
+	if h.count == 0 || x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+	h.count++
+	h.sum += x
+}
+
+// Count reports the number of observations.
+func (h *IntHist) Count() int64 { return h.count }
+
+// Mean reports the average observation, or 0 when empty.
+func (h *IntHist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min and Max report exact extremes (0 when empty).
+func (h *IntHist) Min() int64 { return h.min }
+func (h *IntHist) Max() int64 { return h.max }
+
+// Snapshot summarizes the distribution with its non-empty buckets.
+func (h *IntHist) Snapshot() map[string]any {
+	buckets := map[string]int64{}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if i == intHistDirect {
+			buckets[fmt.Sprintf("%d+", intHistDirect)] = n
+			continue
+		}
+		buckets[fmt.Sprintf("%d", i)] = n
+	}
+	return map[string]any{
+		"count":   h.count,
+		"mean":    h.Mean(),
+		"min":     h.min,
+		"max":     h.max,
+		"buckets": buckets,
+	}
 }
 
 // Counter is a monotonically increasing event counter with a marked window,

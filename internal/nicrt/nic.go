@@ -9,6 +9,7 @@ import (
 	"xenic/internal/pcie"
 	"xenic/internal/sim"
 	"xenic/internal/simnet"
+	"xenic/internal/trace"
 	"xenic/internal/wire"
 )
 
@@ -57,6 +58,13 @@ type NIC struct {
 
 	util  *metrics.Utilization
 	stats Stats
+	tr    *trace.Tracer
+
+	// Always-on batching distributions (§4.3): recording is two array
+	// increments, cheap enough for the NIC hot paths.
+	batchSizes metrics.IntHist // messages per transmitted frame
+	gatherLens metrics.IntHist // gather-list length per destination flush
+	dmaVecOcc  metrics.IntHist // elements per submitted DMA vector
 }
 
 // New creates a NIC with ncores active cores attached to nw at node.
@@ -97,6 +105,43 @@ func (n *NIC) Stats() Stats { return n.stats }
 
 // Utilization returns the per-core busy accounting.
 func (n *NIC) Utilization() *metrics.Utilization { return n.util }
+
+// BatchSizes returns the messages-per-frame distribution.
+func (n *NIC) BatchSizes() *metrics.IntHist { return &n.batchSizes }
+
+// GatherLens returns the per-destination gather-list length distribution.
+func (n *NIC) GatherLens() *metrics.IntHist { return &n.gatherLens }
+
+// DMAVecOcc returns the DMA vector occupancy distribution.
+func (n *NIC) DMAVecOcc() *metrics.IntHist { return &n.dmaVecOcc }
+
+// SetTracer attaches tr (nil disables tracing).
+func (n *NIC) SetTracer(tr *trace.Tracer) { n.tr = tr }
+
+// RegisterMetrics registers the NIC's counters, batching distributions, and
+// DMA-engine byte counters under reg's scope.
+func (n *NIC) RegisterMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc("frames", func() any {
+		s := n.stats
+		return map[string]any{
+			"rx_frames":    s.RxFrames,
+			"rx_msgs":      s.RxMsgs,
+			"tx_frames":    s.TxFrames,
+			"tx_msgs":      s.TxMsgs,
+			"host_rx_msgs": s.HostRxMsgs,
+			"host_tx_msgs": s.HostTxMsgs,
+			"dma_reads":    s.DMAReads,
+			"dma_writes":   s.DMAWrites,
+		}
+	})
+	reg.RegisterIntHist("batch_msgs_per_frame", &n.batchSizes)
+	reg.RegisterIntHist("gather_list_len", &n.gatherLens)
+	reg.RegisterIntHist("dma_vector_occupancy", &n.dmaVecOcc)
+	reg.RegisterFunc("pcie", func() any { return n.dma.Snapshot() })
+}
 
 // OnMessage installs the protocol handler; must be set before traffic flows.
 func (n *NIC) OnMessage(h Handler) { n.handler = h }
@@ -187,6 +232,10 @@ func (c *Core) iteration() bool {
 		did = true
 		c.poller.Charge(p.NICFrameRx)
 		c.nic.stats.RxFrames++
+		if tr := c.nic.tr; tr.Enabled() {
+			tr.Instant("net", "frame-rx", c.nic.node, c.id, c.nic.eng.Now(),
+				trace.Args{"src": f.Src, "bytes": f.PayloadBytes, "msgs": len(f.Msgs)})
+		}
 		for _, raw := range f.Msgs {
 			m := raw.(wire.Msg)
 			c.nic.stats.RxMsgs++
@@ -286,6 +335,11 @@ func (c *Core) dmaOp(write bool, sizes []int, cb func()) {
 		// Blocking mode (ablation baseline): submit immediately as its own
 		// vector and stall the core until completion.
 		c.Charge(p.DMASubmit)
+		c.nic.dmaVecOcc.Record(len(sizes))
+		if tr := c.nic.tr; tr.Enabled() {
+			tr.Instant("dma", "dma-vec", c.nic.node, c.id, c.nic.eng.Now(),
+				trace.Args{"n": len(sizes), "write": write})
+		}
 		lat := p.DMAReadLatency
 		if write {
 			lat = p.DMAWriteLatency
@@ -342,6 +396,11 @@ func (c *Core) submitVector(write bool) {
 		return
 	}
 	c.Charge(p.DMASubmit)
+	c.nic.dmaVecOcc.Record(len(sizes))
+	if tr := c.nic.tr; tr.Enabled() {
+		tr.Instant("dma", "dma-vec", c.nic.node, c.id, c.nic.eng.Now(),
+			trace.Args{"n": len(sizes), "write": write})
+	}
 	core := c
 	v := &pcie.Vector{
 		Write: write,
@@ -378,6 +437,7 @@ func (c *Core) flushNet() {
 		if len(ms) == 0 {
 			continue
 		}
+		c.nic.gatherLens.Record(len(ms))
 		var batchMsgs []any
 		batchBytes := 0
 		send := func(bytes int, msgs []any) {
@@ -394,6 +454,11 @@ func (c *Core) flushNet() {
 			}
 			c.Charge(p.NICFrameTx)
 			c.nic.stats.TxFrames++
+			c.nic.batchSizes.Record(len(msgs))
+			if tr := c.nic.tr; tr.Enabled() {
+				tr.Instant("net", "frame-tx", c.nic.node, c.id, c.nic.eng.Now(),
+					trace.Args{"dst": dst, "bytes": bytes, "msgs": len(msgs)})
+			}
 			f := &simnet.Frame{Src: c.nic.node, Dst: dst,
 				PayloadBytes: bytes, Flow: flow, Msgs: msgs}
 			// Transmit at the core's current instant so link serialization
@@ -434,6 +499,10 @@ func (c *Core) flushHost() {
 	c.outHost = nil
 	c.nic.stats.HostTxMsgs += int64(len(ms))
 	c.Charge(c.nic.p.NICFrameTx)
+	if tr := c.nic.tr; tr.Enabled() {
+		tr.Instant("pcie", "host-tx", c.nic.node, c.id, c.nic.eng.Now(),
+			trace.Args{"msgs": len(ms)})
+	}
 	deliver := c.nic.hostDeliver
 	if deliver == nil {
 		panic("nicrt: no host delivery function installed")

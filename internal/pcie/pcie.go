@@ -35,6 +35,8 @@ type Engine struct {
 	submissions int64
 	elements    int64
 	bytes       int64
+	readBytes   int64
+	writeBytes  int64
 }
 
 // New returns a DMA engine using parameters p.
@@ -98,6 +100,11 @@ func (d *Engine) Submit(queue int, v *Vector) {
 		d.elementBusy = finish
 		d.elements++
 		d.bytes += int64(sz)
+		if v.Write {
+			d.writeBytes += int64(sz)
+		} else {
+			d.readBytes += int64(sz)
+		}
 	}
 	d.submissions++
 
@@ -118,3 +125,20 @@ func (d *Engine) Elements() int64 { return d.elements }
 
 // Bytes reports total payload bytes moved over PCIe by DMA.
 func (d *Engine) Bytes() int64 { return d.bytes }
+
+// ReadBytes reports payload bytes moved host-to-NIC (DMA reads).
+func (d *Engine) ReadBytes() int64 { return d.readBytes }
+
+// WriteBytes reports payload bytes moved NIC-to-host (DMA writes).
+func (d *Engine) WriteBytes() int64 { return d.writeBytes }
+
+// Snapshot renders the engine counters for the stats registry.
+func (d *Engine) Snapshot() map[string]any {
+	return map[string]any{
+		"submissions": d.submissions,
+		"elements":    d.elements,
+		"bytes":       d.bytes,
+		"read_bytes":  d.readBytes,
+		"write_bytes": d.writeBytes,
+	}
+}

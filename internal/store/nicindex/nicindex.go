@@ -62,6 +62,35 @@ type Stats struct {
 	EvictFails  int64 // eviction scans that found nothing evictable
 }
 
+// Snapshot renders the counters for the stats registry.
+func (s Stats) Snapshot() map[string]any {
+	return map[string]any{
+		"lookups":      s.Lookups,
+		"cache_hits":   s.CacheHits,
+		"dma_lookups":  s.DMALookups,
+		"second_reads": s.SecondReads,
+		"over_reads":   s.OverReads,
+		"evictions":    s.Evictions,
+		"evict_fails":  s.EvictFails,
+	}
+}
+
+// Merge adds o's counts into s.
+func (s *Stats) Merge(o Stats) {
+	s.Lookups += o.Lookups
+	s.CacheHits += o.CacheHits
+	s.DMALookups += o.DMALookups
+	s.SecondReads += o.SecondReads
+	s.OverReads += o.OverReads
+	s.Evictions += o.Evictions
+	s.EvictFails += o.EvictFails
+}
+
+// LockTrace observes lock-state transitions: op is "lock" or "unlock", ok
+// is false when a TryLock lost to another holder. The hook is installed
+// only while tracing, so the disabled-path cost is one nil check.
+type LockTrace func(op string, key, owner uint64, ok bool)
+
 // Index is one server's NIC-resident caching index over its host table.
 type Index struct {
 	host     *robinhood.Table
@@ -73,6 +102,8 @@ type Index struct {
 	ring     []uint64 // CLOCK ring of cached keys
 	hand     int
 	stats    Stats
+
+	lockTrace LockTrace
 }
 
 // New creates an index over host with the given cached-value capacity.
@@ -104,6 +135,9 @@ func (x *Index) Hint(seg int) int { return x.di[seg] }
 
 // Stats returns a copy of the event counters.
 func (x *Index) Stats() Stats { return x.stats }
+
+// SetLockTrace installs (or clears) the lock-transition hook.
+func (x *Index) SetLockTrace(fn LockTrace) { x.lockTrace = fn }
 
 // CachedValues reports how many objects currently have cached values.
 func (x *Index) CachedValues() int { return x.cached }
@@ -299,10 +333,16 @@ func (x *Index) evict() bool {
 func (x *Index) TryLock(key, owner uint64) bool {
 	o := x.ensure(key)
 	if o.Locked && o.LockOwner != owner {
+		if x.lockTrace != nil {
+			x.lockTrace("lock", key, owner, false)
+		}
 		return false
 	}
 	o.Locked = true
 	o.LockOwner = owner
+	if x.lockTrace != nil {
+		x.lockTrace("lock", key, owner, true)
+	}
 	return true
 }
 
@@ -321,6 +361,9 @@ func (x *Index) Unlock(key, owner uint64) {
 	}
 	o.Locked = false
 	o.LockOwner = 0
+	if x.lockTrace != nil {
+		x.lockTrace("unlock", key, owner, true)
+	}
 }
 
 // UnlockIf releases key only if owner still holds it (tolerant unlock for
@@ -332,6 +375,9 @@ func (x *Index) UnlockIf(key, owner uint64) {
 	}
 	o.Locked = false
 	o.LockOwner = 0
+	if x.lockTrace != nil {
+		x.lockTrace("unlock", key, owner, true)
+	}
 	if o.Pinned == 0 && !o.HasValue {
 		delete(x.objects, key)
 	}

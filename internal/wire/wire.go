@@ -64,6 +64,11 @@ const (
 	StatusAbortLocked
 	StatusAbortVersion
 	StatusAbortMissing
+	// StatusAbortView aborts an in-flight transaction because a view change
+	// invalidated its coordinator or a participant shard (§4.2.1).
+	StatusAbortView
+
+	NumStatuses = int(StatusAbortView) + 1
 )
 
 func (s Status) String() string {
@@ -76,6 +81,8 @@ func (s Status) String() string {
 		return "abort-version"
 	case StatusAbortMissing:
 		return "abort-missing"
+	case StatusAbortView:
+		return "abort-view"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }

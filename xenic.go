@@ -20,8 +20,10 @@ package xenic
 import (
 	"xenic/internal/baseline"
 	"xenic/internal/core"
+	"xenic/internal/metrics"
 	"xenic/internal/model"
 	"xenic/internal/sim"
+	"xenic/internal/trace"
 	"xenic/internal/txnmodel"
 	"xenic/internal/wire"
 	"xenic/internal/workload/retwis"
@@ -133,3 +135,22 @@ func Smallbank() *smallbank.Gen { return smallbank.New() }
 
 // NewRegistry returns an empty execution-function registry.
 func NewRegistry() *Registry { return txnmodel.NewRegistry() }
+
+// Tracer records per-transaction distributed traces — phase transitions,
+// message hops, DMA flushes, lock transitions, aborts — as Chrome
+// trace-event JSON (Perfetto-loadable) with simulated timestamps. A nil
+// *Tracer is a valid disabled tracer.
+type Tracer = trace.Tracer
+
+// NewTracer returns an enabled tracer; attach it with Cluster.SetTracer
+// before Start/Measure.
+func NewTracer() *Tracer { return trace.New() }
+
+// StatsRegistry collects named counters, gauges, and histograms from
+// cluster components, snapshotable as one JSON document per run. A nil
+// *StatsRegistry is a valid disabled registry.
+type StatsRegistry = metrics.Registry
+
+// NewStatsRegistry returns an empty stats registry; populate it with
+// Cluster.RegisterMetrics or BaselineCluster.RegisterMetrics.
+func NewStatsRegistry() *StatsRegistry { return metrics.NewRegistry() }
