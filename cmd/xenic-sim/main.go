@@ -7,6 +7,12 @@
 //
 // With -trace the run emits a Chrome trace-event JSON (open in Perfetto or
 // chrome://tracing); with -stats it writes a stats-registry snapshot.
+//
+// With -faults the run injects a deterministic fault plan, e.g.
+//
+//	xenic-sim -faults drop=0.01,dup=0.005,crash=2@4ms -ms 10
+//
+// Baselines accept only network faults (drop/dup/delay/partition).
 package main
 
 import (
@@ -35,7 +41,15 @@ func main() {
 	oneLink := flag.Bool("one-link", false, "use one 50Gbps link per server (§5.3)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (xenic only)")
 	statsOut := flag.String("stats", "", "write a stats-registry JSON snapshot of the run")
+	faults := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,crash=2@4ms,part=1:2@2ms+1ms")
 	flag.Parse()
+
+	var plan *xenic.FaultPlan
+	if *faults != "" {
+		var err error
+		plan, err = xenic.ParseFaultPlan(*faults)
+		must(err)
+	}
 
 	var gen txnmodel.Generator
 	switch *workload {
@@ -72,6 +86,7 @@ func main() {
 		cfg.NICCores = *threads
 		cfg.Outstanding = max(1, *window / *app)
 		cfg.Seed = *seed
+		cfg.Faults = plan
 		if *oneLink {
 			cfg.Params = cfg.Params.OneLink()
 		}
@@ -114,6 +129,7 @@ func main() {
 	cfg.Threads = *threads
 	cfg.Outstanding = max(1, *window / *threads)
 	cfg.Seed = *seed
+	cfg.Faults = plan
 	if *oneLink {
 		cfg.Params = cfg.Params.OneLink()
 	}

@@ -23,6 +23,7 @@ package baseline
 import (
 	"fmt"
 
+	"xenic/internal/fault"
 	"xenic/internal/metrics"
 	"xenic/internal/model"
 	"xenic/internal/sim"
@@ -76,6 +77,11 @@ type Config struct {
 	System      System
 	Params      model.Params
 	Seed        int64
+	// Faults optionally attaches a deterministic fault plan: frame
+	// drop/duplication/delay and transient partitions at the fabric, plus
+	// RDMA verb timeouts. Crash and stall faults are rejected — the
+	// baselines have no membership service to recover with.
+	Faults *fault.Plan
 }
 
 // DefaultConfig mirrors the testbed.
@@ -101,6 +107,14 @@ func (c Config) validate() error {
 	}
 	if c.Threads < 1 || c.Outstanding < 1 {
 		return fmt.Errorf("baseline: bad thread/window config")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if len(c.Faults.Crashes) > 0 || len(c.Faults.CoreStalls) > 0 || len(c.Faults.DMAStalls) > 0 {
+			return fmt.Errorf("baseline: fault plan includes crash/stall faults; baselines support only network faults")
+		}
 	}
 	return nil
 }
@@ -212,5 +226,9 @@ func recordBytes(writes []kvw) int {
 	return n
 }
 
-// backoffMax bounds the randomized retry backoff.
-const backoffMax = 5 * sim.Microsecond
+// Retry backoff: capped exponential, drawn from a window that doubles from
+// backoffBase up to backoffMax (see sim.Backoff).
+const (
+	backoffBase = 1 * sim.Microsecond
+	backoffMax  = 16 * sim.Microsecond
+)

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"xenic/internal/fault"
 	"xenic/internal/hostrt"
 	"xenic/internal/metrics"
 	"xenic/internal/rdma"
@@ -18,6 +19,7 @@ type Cluster struct {
 	cfg    Config
 	eng    *sim.Engine
 	nw     *simnet.Network
+	inj    *fault.Injector
 	nodes  []*Node
 	gen    txnmodel.Generator
 	place  txnmodel.Placement
@@ -37,6 +39,12 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 		reg: txnmodel.NewRegistry(),
 	}
 	cl.nw = simnet.New(cl.eng, cfg.Params, cfg.Nodes)
+	if cfg.Faults != nil {
+		cl.inj = fault.NewInjector(cl.eng, cfg.Faults, cfg.Seed)
+		// Baselines never crash, so every endpoint is permanently live and
+		// the fabric's reliable transport retransmits through any fault.
+		cl.nw.SetFault(cl.inj.FrameFate, func(int) bool { return true })
+	}
 	cl.place = gen.Placement(cfg.Nodes, cfg.Replication)
 	gen.Register(cl.reg)
 	spec := gen.Spec()
@@ -57,8 +65,11 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 				}
 			}
 		}
-		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.Threads)
+		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.Threads, cfg.Seed)
 		n.rnic = rdma.New(cl.eng, cfg.Params, cl.nw, id, n.host)
+		if cfg.Faults != nil {
+			n.rnic.SetFaultTimeout(cfg.Faults.VerbTimeoutOrDefault())
+		}
 		n.host.OnMessage(n.hostHandler)
 		n.host.OnIdle(n.hostIdle)
 		n.host.SetRouter(func(m wire.Msg) int {
@@ -219,13 +230,19 @@ func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
 		return
 	}
 	rdmaSnap := func(s rdma.Stats) map[string]any {
-		return map[string]any{
+		out := map[string]any{
 			"reads":     s.Reads,
 			"writes":    s.Writes,
 			"atomics":   s.Atomics,
 			"sends":     s.Sends,
 			"bytes_out": s.BytesOut,
 		}
+		if cl.cfg.Faults != nil {
+			out["verb_timeouts"] = s.VerbTimeouts
+			out["dup_requests"] = s.DupRequests
+			out["dup_responses"] = s.DupResponses
+		}
+		return out
 	}
 	for _, n := range cl.nodes {
 		n := n
@@ -264,9 +281,20 @@ func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
 			s.Atomics += ns.Atomics
 			s.Sends += ns.Sends
 			s.BytesOut += ns.BytesOut
+			s.VerbTimeouts += ns.VerbTimeouts
+			s.DupRequests += ns.DupRequests
+			s.DupResponses += ns.DupResponses
 		}
 		return rdmaSnap(s)
 	})
+	if cl.inj != nil {
+		f := reg.Sub("fault")
+		cl.inj.RegisterMetrics(f)
+		f.RegisterFunc("net", func() any {
+			retx, lost := cl.nw.FaultCounters()
+			return map[string]any{"retx": retx, "lost": lost}
+		})
+	}
 	agg.RegisterFunc("latency", func() any {
 		m := metrics.NewHistogram()
 		for _, n := range cl.nodes {

@@ -339,7 +339,7 @@ func (n *Node) retryTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
 	tx.reset()
 	tx.id = txnID(n.id, at.id, at.nextSeq())
 	at.inflight[tx.id] = tx
-	backoff := sim.Time(t.Rand().Int63n(int64(backoffMax)))
+	backoff := sim.Backoff(t.Rand(), backoffBase, backoffMax, tx.retries-1)
 	tx.notBefore = t.Now() + backoff
 	at.retryq = append(at.retryq, tx)
 	t.At(backoff, t.Wake)

@@ -731,13 +731,14 @@ func (n *Node) unlockReadLocks(t *hostrt.Thread, tx *btxn, s int) {
 		written[kv.Key] = true
 	}
 	target := n.cl.nodes[s]
+	owner := tx.id // capture: tx.id is reassigned if the txn is retried
 	for _, k := range tx.locked[s] {
 		if written[k] {
 			continue
 		}
 		k := k
 		n.rnic.Write(t, s, 8, func() {
-			target.unlock(k, tx.id)
+			target.unlockIf(k, owner)
 		}, func() {})
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"xenic/internal/fault"
 	"xenic/internal/hostrt"
 	"xenic/internal/membership"
 	"xenic/internal/metrics"
@@ -33,7 +34,8 @@ type Cluster struct {
 	mgr  *membership.Manager
 	view membership.View
 
-	tracer *trace.Tracer // nil unless SetTracer attached one
+	inj    *fault.Injector // nil unless Config.Faults is set
+	tracer *trace.Tracer   // nil unless SetTracer attached one
 }
 
 // primaryNode is the node currently serving shard s.
@@ -64,6 +66,12 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 		reg: txnmodel.NewRegistry(),
 	}
 	cl.nw = simnet.New(cl.eng, cfg.Params, cfg.Nodes)
+	if cfg.Faults != nil {
+		// The injector decides every frame's fate; the liveness oracle lets
+		// the reliable transport abandon frames to or from dead nodes.
+		cl.inj = fault.NewInjector(cl.eng, cfg.Faults, cfg.Seed)
+		cl.nw.SetFault(cl.inj.FrameFate, func(node int) bool { return cl.nodes[node].alive })
+	}
 	cl.place = gen.Placement(cfg.Nodes, cfg.Replication)
 	gen.Register(cl.reg)
 	spec := gen.Spec()
@@ -102,8 +110,11 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 			ready: true,
 		}
 
-		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.AppThreads+cfg.WorkerThreads)
-		n.nic = nicrt.New(cl.eng, cfg.Params, cl.nw, id, cfg.NICCores, cfg.Features.runtime())
+		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.AppThreads+cfg.WorkerThreads, cfg.Seed)
+		n.nic = nicrt.New(cl.eng, cfg.Params, cl.nw, id, cfg.NICCores, cfg.Seed, cfg.Features.runtime())
+		if cl.inj != nil {
+			n.nic.SetDMAFault(cl.inj.DMAErr)
+		}
 
 		n.nic.OnMessage(n.nicHandler)
 		nic, host := n.nic, n.host
@@ -132,15 +143,45 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 	for _, n := range cl.nodes {
 		n := n
 		cl.eng.Ticker(cfg.Membership.RenewPeriod, func() bool {
-			if n.alive {
+			// A partitioned node cannot reach the manager: its lease lapses
+			// and it is evicted (then self-fences on the view change).
+			if n.alive && (cl.inj == nil || !cl.inj.Isolated(n.id)) {
 				cl.mgr.Renew(n.id)
 			}
 			return true
 		})
 	}
 	cl.mgr.Start()
+	cl.scheduleFaults()
 	return cl, nil
 }
+
+// scheduleFaults arms the plan's scheduled events: crashes, NIC core stalls,
+// and DMA engine stalls. Partitions and per-frame faults are decided inline
+// by the injector.
+func (cl *Cluster) scheduleFaults() {
+	if cl.inj == nil {
+		return
+	}
+	plan := cl.inj.Plan()
+	for _, c := range plan.Crashes {
+		c := c
+		cl.eng.At(c.At, func() { cl.Kill(c.Node) })
+	}
+	for _, s := range plan.CoreStalls {
+		s := s
+		cl.eng.At(s.At, func() {
+			cl.nodes[s.Node].nic.StallCore(s.Core%cl.cfg.NICCores, s.Dur)
+		})
+	}
+	for _, s := range plan.DMAStalls {
+		s := s
+		cl.eng.At(s.At, func() { cl.nodes[s.Node].nic.StallDMA(s.Dur) })
+	}
+}
+
+// Injector exposes the fault injector (nil on fault-free runs).
+func (cl *Cluster) Injector() *fault.Injector { return cl.inj }
 
 // cacheCap is the SmartNIC index cache capacity from the workload spec.
 func (cl *Cluster) cacheCap() int {

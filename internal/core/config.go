@@ -8,6 +8,7 @@ package core
 import (
 	"fmt"
 
+	"xenic/internal/fault"
 	"xenic/internal/membership"
 	"xenic/internal/model"
 	"xenic/internal/nicrt"
@@ -69,6 +70,13 @@ type Config struct {
 	// Membership tunes the lease-based cluster manager (§4.2.1).
 	Membership membership.Config
 	Seed       int64
+	// Faults, when non-nil, enables deterministic fault injection: frame
+	// drop/duplication/delay at the link layer, DMA errors and stalls, NIC
+	// core stalls, scheduled crashes and partitions — plus the hardening
+	// paths that survive them (coordinator watchdog timeouts, duplicate
+	// suppression, dead-peer gating). nil runs are byte-identical to builds
+	// without the fault subsystem.
+	Faults *fault.Plan
 }
 
 // DefaultConfig mirrors the paper's testbed: 6 servers, 3-way replication.
@@ -100,6 +108,11 @@ func (c Config) validate() error {
 	}
 	if c.Outstanding < 1 {
 		return fmt.Errorf("core: outstanding window must be positive")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Nodes); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	return nil
 }

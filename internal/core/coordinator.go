@@ -6,6 +6,7 @@ import (
 	"xenic/internal/nicrt"
 	"xenic/internal/sim"
 	"xenic/internal/store/nicindex"
+	"xenic/internal/trace"
 	"xenic/internal/txnmodel"
 	"xenic/internal/wire"
 )
@@ -37,6 +38,7 @@ type ctxn struct {
 	desc    *txnmodel.TxnDesc
 	phase   phase
 	phaseAt sim.Time // when the current phase began (latency accounting)
+	epoch   int      // bumped on every phase change; watchdog progress marker
 	failed  wire.Status
 	dead    bool // view change aborted this transaction; drop stragglers
 
@@ -684,6 +686,65 @@ func (n *Node) abortTxn(c *nicrt.Core, t *ctxn) {
 	n.finishTxn(c, t, t.failed)
 	n.closeTxn(t, t.failed)
 	delete(n.ctxns, t.id)
+}
+
+// --- coordinator watchdog (fault runs) ---
+//
+// Drops, partitions, and stalls can leave a coordinated transaction parked
+// in a fan-out phase holding remote locks. The reliable transport eventually
+// delivers every frame between live nodes, so the watchdog is a lock-hold
+// bound, not a correctness mechanism: when a transaction sits in EXECUTE or
+// VALIDATE past the plan's TxnTimeout without a phase change, it is aborted
+// (StatusAbortTimeout) and retried by the application with backoff. Later
+// phases are excluded — host execution always progresses locally, and past
+// the commit point the outcome must stand (delivery to live nodes is
+// guaranteed; dead nodes are handled by view-change recovery).
+
+// armWatchdog schedules the first expiry check for t (fault runs only).
+func (n *Node) armWatchdog(t *ctxn) {
+	if !n.faulty() {
+		return
+	}
+	d := n.cl.cfg.Faults.TxnTimeoutOrDefault()
+	id, epoch := t.id, t.epoch
+	n.cl.eng.After(d, func() { n.checkWatchdog(id, epoch, d) })
+}
+
+// checkWatchdog fires d after the epoch it observed was current: if the
+// transaction progressed, re-arm from the new epoch; if it is still parked
+// in a timeout-eligible phase, abort it on a NIC core.
+func (n *Node) checkWatchdog(id uint64, epoch int, d sim.Time) {
+	if !n.alive {
+		return
+	}
+	t, ok := n.ctxns[id]
+	if !ok || t.dead {
+		return
+	}
+	if t.epoch != epoch || (t.phase != phExecute && t.phase != phValidate) {
+		epoch := t.epoch
+		n.cl.eng.After(d, func() { n.checkWatchdog(id, epoch, d) })
+		return
+	}
+	n.nic.Inject(n.nic.CoreFor(id), func(c *nicrt.Core) {
+		t, ok := n.ctxns[id]
+		if !ok || t.dead || t.epoch != epoch {
+			return
+		}
+		if t.phase != phExecute && t.phase != phValidate {
+			return
+		}
+		n.stats.Timeouts[t.phase]++
+		if tr := n.tr(); tr.Enabled() {
+			tr.Instant("fault", "txn-timeout", n.id, 0, n.cl.eng.Now(),
+				trace.Args{"txn": t.id, "phase": t.phase.String()})
+		}
+		t.failed = wire.StatusAbortTimeout
+		// Anything still pending (local async lookups, remote responses)
+		// must land as a straggler, exactly as after a view-change abort.
+		t.dead = true
+		n.abortTxn(c, t)
+	})
 }
 
 // finishTxn reports a transaction outcome to the host application.

@@ -77,22 +77,16 @@ func (n *Node) appIdle(t *hostrt.Thread, at *appThread) bool {
 	// can synchronously abort and re-append to at.retryq.
 	q := at.retryq
 	at.retryq = nil
-	for _, tx := range q {
-		if tx.notBefore <= t.Now() {
-			did = true
-			n.submit(t, at, tx)
-		} else {
-			at.retryq = append(at.retryq, tx)
-		}
+	ready, keep := splitRetryQueue(q, t.Now())
+	at.retryq = keep
+	for _, tx := range ready {
+		did = true
+		n.submit(t, at, tx)
 	}
-	if len(at.retryq) > 0 {
-		// Ensure a wake-up when the earliest backoff expires.
-		earliest := at.retryq[0].notBefore
-		for _, tx := range at.retryq[1:] {
-			if tx.notBefore < earliest {
-				earliest = tx.notBefore
-			}
-		}
+	if earliest, ok := nextRetryWake(at.retryq); ok {
+		// Ensure a wake-up when the earliest backoff expires — computed over
+		// the post-submission queue so retries re-appended by synchronous
+		// aborts keep their wake-up too.
 		t.At(earliest-t.Now(), t.Wake)
 	}
 	if !n.cl.loadOn {
@@ -119,6 +113,36 @@ func (n *Node) appIdle(t *hostrt.Thread, at *appThread) bool {
 func (at *appThread) nextSeq() uint32 {
 	at.seq++
 	return at.seq
+}
+
+// splitRetryQueue partitions q into transactions whose backoff has expired
+// at now (ready to resubmit) and those that must keep waiting, preserving
+// queue order within each group.
+func splitRetryQueue(q []*appTxn, now sim.Time) (ready, keep []*appTxn) {
+	for _, tx := range q {
+		if tx.notBefore <= now {
+			ready = append(ready, tx)
+		} else {
+			keep = append(keep, tx)
+		}
+	}
+	return ready, keep
+}
+
+// nextRetryWake returns the earliest notBefore among q, and whether q holds
+// any entries at all. Scheduling exactly one wake-up at this instant is
+// sufficient: the drain pass recomputes the next one.
+func nextRetryWake(q []*appTxn) (sim.Time, bool) {
+	if len(q) == 0 {
+		return 0, false
+	}
+	earliest := q[0].notBefore
+	for _, tx := range q[1:] {
+		if tx.notBefore < earliest {
+			earliest = tx.notBefore
+		}
+	}
+	return earliest, true
 }
 
 // allLocal reports whether every key of d is served by this node in the
@@ -350,8 +374,16 @@ func (n *Node) completeTxn(t *hostrt.Thread, at *appThread, tx *appTxn,
 	_ = reads
 }
 
-// retryTxn re-queues an aborted transaction with randomized backoff, up to
-// the retry cap.
+// Retry backoff bounds: the window starts at retryBackoffBase and doubles
+// per attempt up to retryBackoffMax, so repeated conflicts on a hot key
+// decay instead of re-colliding at a fixed cadence.
+const (
+	retryBackoffBase = 2 * sim.Microsecond
+	retryBackoffMax  = 64 * sim.Microsecond
+)
+
+// retryTxn re-queues an aborted transaction with capped-exponential
+// randomized backoff, up to the retry cap.
 func (n *Node) retryTxn(t *hostrt.Thread, at *appThread, tx *appTxn, st wire.Status) {
 	n.stats.Aborts++
 	if int(st) < len(n.stats.AbortReasons) {
@@ -366,7 +398,7 @@ func (n *Node) retryTxn(t *hostrt.Thread, at *appThread, tx *appTxn, st wire.Sta
 	// A retry is a fresh transaction attempt with a new id.
 	tx.id = txnID(n.id, at.id, at.nextSeq())
 	at.inflight[tx.id] = tx
-	backoff := sim.Time(t.Rand().Int63n(int64(5 * sim.Microsecond)))
+	backoff := sim.Backoff(t.Rand(), retryBackoffBase, retryBackoffMax, tx.retries-1)
 	tx.notBefore = t.Now() + backoff
 	at.retryq = append(at.retryq, tx)
 	t.At(backoff, t.Wake)

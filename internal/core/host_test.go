@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"xenic/internal/sim"
+)
+
+// TestSplitRetryQueue covers the appIdle retry-drain helper: expired
+// entries come back ready, pending ones are kept, and order is preserved
+// within each group.
+func TestSplitRetryQueue(t *testing.T) {
+	mk := func(id uint64, nb sim.Time) *appTxn { return &appTxn{id: id, notBefore: nb} }
+	q := []*appTxn{
+		mk(1, 100), mk(2, 500), mk(3, 200), mk(4, 900), mk(5, 200),
+	}
+	ready, keep := splitRetryQueue(q, 200)
+	ids := func(xs []*appTxn) []uint64 {
+		var out []uint64
+		for _, tx := range xs {
+			out = append(out, tx.id)
+		}
+		return out
+	}
+	if got := ids(ready); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("ready = %v, want [1 3 5]", got)
+	}
+	if got := ids(keep); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("keep = %v, want [2 4]", got)
+	}
+
+	// Boundary: notBefore == now counts as expired.
+	ready, keep = splitRetryQueue([]*appTxn{mk(7, 300)}, 300)
+	if len(ready) != 1 || len(keep) != 0 {
+		t.Fatalf("boundary split: ready=%d keep=%d", len(ready), len(keep))
+	}
+
+	// Empty and all-pending queues.
+	ready, keep = splitRetryQueue(nil, 100)
+	if len(ready) != 0 || len(keep) != 0 {
+		t.Fatal("nil queue split non-empty")
+	}
+	ready, keep = splitRetryQueue([]*appTxn{mk(8, 400)}, 100)
+	if len(ready) != 0 || len(keep) != 1 {
+		t.Fatalf("all-pending split: ready=%d keep=%d", len(ready), len(keep))
+	}
+}
+
+// TestNextRetryWake covers the wake-up scheduler helper: the earliest
+// notBefore wins regardless of queue position, and an empty queue schedules
+// nothing.
+func TestNextRetryWake(t *testing.T) {
+	if _, ok := nextRetryWake(nil); ok {
+		t.Fatal("empty queue reported a wake time")
+	}
+	q := []*appTxn{{notBefore: 700}, {notBefore: 300}, {notBefore: 900}}
+	at, ok := nextRetryWake(q)
+	if !ok || at != 300 {
+		t.Fatalf("wake = %v, %v; want 300, true", at, ok)
+	}
+	// Single entry.
+	at, ok = nextRetryWake(q[:1])
+	if !ok || at != 700 {
+		t.Fatalf("wake = %v, %v; want 700, true", at, ok)
+	}
+}

@@ -36,6 +36,11 @@ type Stats struct {
 	AbortReasons [wire.NumStatuses]int64
 	// PhaseLat records simulated time spent in each coordinator phase.
 	PhaseLat [numPhases]*metrics.Histogram
+	// Timeouts counts coordinator watchdog expirations by phase (fault runs).
+	Timeouts [numPhases]int64
+	// StaleDrops counts NIC messages discarded because their source was
+	// evicted from the membership view (fault runs).
+	StaleDrops int64
 }
 
 // primaryShard is one shard this node currently serves as primary: its data
@@ -72,8 +77,17 @@ type Node struct {
 	pendingDecide map[txnShard][]uint64
 
 	alive bool // false after failure injection
-	stats Stats
+	// viewAlive mirrors the latest membership view's liveness on fault runs
+	// (nil otherwise); nicHandler drops messages from evicted nodes so
+	// delayed frames cannot re-acquire state that recovery already swept.
+	viewAlive []bool
+	stats     Stats
 }
+
+// faulty reports whether this cluster runs with fault injection; hardening
+// paths (watchdogs, duplicate suppression, dead-peer gating) gate on it so
+// fault-free runs are untouched.
+func (n *Node) faulty() bool { return n.cl.cfg.Faults != nil }
 
 // ID returns the node index.
 func (n *Node) ID() int { return n.id }
@@ -116,6 +130,13 @@ func (n *Node) place() txnmodel.Placement { return n.cl.place }
 func (n *Node) nicHandler(c *nicrt.Core, src int, m wire.Msg) {
 	if !n.alive {
 		return // crashed node drops everything
+	}
+	if n.viewAlive != nil && src != n.id && !n.viewAlive[src] {
+		// Delayed frame from a node the view evicted: recovery already swept
+		// its state; processing it now would strand locks or resurrect
+		// transactions the survivors decided.
+		n.stats.StaleDrops++
+		return
 	}
 	if debugTxn != 0 && m.(interface{ GetTxnID() uint64 }).GetTxnID() == debugTxn {
 		fmt.Printf("DBG t=%v node=%d src=%d msg=%v\n", n.cl.eng.Now(), n.id, src, m.Type())

@@ -38,6 +38,9 @@ func (p phase) String() string {
 // appear as trace tids hostTidBase+i, NIC cores as tids 0..NICCores-1.
 func (cl *Cluster) SetTracer(tr *trace.Tracer) {
 	cl.tracer = tr
+	if cl.inj != nil {
+		cl.inj.SetTracer(tr)
+	}
 	for _, n := range cl.nodes {
 		n.nic.SetTracer(tr)
 		n.installLockTrace()
@@ -106,6 +109,7 @@ func (n *Node) openTxn(t *ctxn) {
 		tr.BeginAsync("txn", "txn", t.id, n.id, now, nil)
 		tr.BeginAsync("phase", t.phase.String(), t.id, n.id, now, nil)
 	}
+	n.armWatchdog(t)
 }
 
 // setPhase moves t to ph, recording the closing phase's simulated duration.
@@ -120,6 +124,7 @@ func (n *Node) setPhase(t *ctxn, ph phase) {
 	}
 	t.phase = ph
 	t.phaseAt = now
+	t.epoch++ // phase changes are the watchdog's progress signal
 }
 
 // closeTxn finishes accounting when the coordinator drops t's state. Call
@@ -168,6 +173,18 @@ func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
 			return agg.Snapshot()
 		})
 		n.nic.RegisterMetrics(sub.Sub("nic"))
+		if cl.cfg.Faults != nil {
+			sub.RegisterFunc("timeouts_by_phase", func() any { return timeoutMap(n.stats.Timeouts) })
+			sub.RegisterFunc("stale_drops", func() any { return n.stats.StaleDrops })
+		}
+	}
+	if cl.inj != nil {
+		f := reg.Sub("fault")
+		cl.inj.RegisterMetrics(f)
+		f.RegisterFunc("net", func() any {
+			retx, lost := cl.nw.FaultCounters()
+			return map[string]any{"retx": retx, "lost": lost}
+		})
 	}
 	agg := reg.Sub("cluster")
 	agg.RegisterFunc("txn", func() any {
@@ -215,6 +232,18 @@ func (s *Stats) txnSnapshot() map[string]any {
 		"aborts":    s.Aborts,
 		"failed":    s.Failed,
 	}
+}
+
+// timeoutMap keys non-zero watchdog expirations by phase name.
+func timeoutMap(timeouts [numPhases]int64) map[string]int64 {
+	out := map[string]int64{}
+	for i, v := range timeouts {
+		if v == 0 {
+			continue
+		}
+		out[phase(i).String()] = v
+	}
+	return out
 }
 
 // abortReasonMap keys non-zero abort counts by status name, skipping the

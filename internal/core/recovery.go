@@ -48,22 +48,36 @@ func (cl *Cluster) onViewChange(v membership.View) {
 			continue
 		}
 		n := n
-		// React on a NIC core so the work is charged and can send messages.
-		n.nic.Inject(0, func(c *nicrt.Core) { n.handleViewChange(c, v) })
+		// React on a NIC core so the work is charged and can send messages
+		// (a live one: fault plans may have stopped individual cores).
+		n.nic.Inject(n.nic.LiveCore(), func(c *nicrt.Core) { n.handleViewChange(c, v) })
 	}
 }
 
 // handleViewChange runs on a NIC core of every surviving node.
 func (n *Node) handleViewChange(c *nicrt.Core, v membership.View) {
-	n.abortInFlight(c)
+	if !v.Alive[n.id] {
+		// The view evicted this node (its lease lapsed during a partition)
+		// even though it is locally up: self-fence. The survivors have
+		// already promoted its shard and swept its locks; continuing to
+		// serve would split the brain.
+		n.alive = false
+		return
+	}
+	if n.faulty() {
+		n.viewAlive = append(n.viewAlive[:0], v.Alive...)
+	}
+	n.abortInFlight(c, v)
 	n.adoptShards(c, v)
 	n.sweepOrphanLocks(c, v)
 }
 
 // abortInFlight aborts every in-flight coordinated transaction: the view
 // changed under them (a replica or primary they depend on may be gone), so
-// they release their locks and retry in the new configuration.
-func (n *Node) abortInFlight(c *nicrt.Core) {
+// they release their locks and retry in the new configuration. Liveness
+// decisions use the view, not the global alive flags: a partition-evicted
+// node self-fences asynchronously, so its flag may still read alive here.
+func (n *Node) abortInFlight(c *nicrt.Core, v membership.View) {
 	var ids []uint64
 	for id := range n.ctxns {
 		ids = append(ids, id)
@@ -84,7 +98,7 @@ func (n *Node) abortInFlight(c *nicrt.Core) {
 		if t.failed == wire.StatusOK {
 			t.failed = wire.StatusAbortView
 		}
-		if t.phase == phShipped && n.cl.nodes[t.shipTo].alive {
+		if t.phase == phShipped && v.Alive[t.shipTo] {
 			// Release any lock-all state at the remote primary.
 			c.Send(t.shipTo, &wire.Abort{Header: wire.Header{TxnID: t.id, Src: uint8(n.id)}})
 		}
@@ -107,7 +121,7 @@ func (n *Node) abortInFlight(c *nicrt.Core) {
 				}
 				continue
 			}
-			if n.cl.nodes[dst].alive {
+			if v.Alive[dst] {
 				c.Send(dst, &wire.Abort{
 					Header:     wire.Header{TxnID: t.id, Src: uint8(n.id)},
 					LockedKeys: keys,
@@ -147,7 +161,7 @@ func (n *Node) abortInFlight(c *nicrt.Core) {
 	// release remoteLocks owned by dead nodes.
 	var orphaned []uint64
 	for txn := range n.remoteLocks {
-		if !n.cl.nodes[txnNode(txn)].alive {
+		if !v.Alive[txnNode(txn)] {
 			orphaned = append(orphaned, txn)
 		}
 	}
@@ -282,7 +296,7 @@ func (n *Node) sweepOrphanLocks(c *nicrt.Core, v membership.View) {
 		orphans := map[uint64][]uint64{} // txn -> locked keys
 		var order []uint64
 		p.index.ForEachLocked(func(key, owner uint64) {
-			if n.cl.nodes[txnNode(owner)].alive {
+			if v.Alive[txnNode(owner)] {
 				return
 			}
 			if _, seen := orphans[owner]; !seen {

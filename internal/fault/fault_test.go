@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"xenic/internal/sim"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	p, err := Parse("drop=0.01,dup=0.005,delay=0.05,maxdelay=50us,dmaerr=0.01," +
+		"crash=2@4ms,part=1:2@2ms+1ms,stall=0/3@1ms+200us,dmastall=1@2ms+100us," +
+		"txntimeout=500us,verbtimeout=100us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DropProb != 0.01 || p.DupProb != 0.005 || p.DelayProb != 0.05 {
+		t.Fatalf("frame probs: %+v", p)
+	}
+	if p.MaxDelay != 50*sim.Microsecond || p.DMAErrProb != 0.01 {
+		t.Fatalf("maxdelay/dmaerr: %+v", p)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (Crash{Node: 2, At: 4 * sim.Millisecond}) {
+		t.Fatalf("crashes: %+v", p.Crashes)
+	}
+	if len(p.Partitions) != 1 {
+		t.Fatalf("partitions: %+v", p.Partitions)
+	}
+	pt := p.Partitions[0]
+	if len(pt.Nodes) != 2 || pt.Nodes[0] != 1 || pt.Nodes[1] != 2 ||
+		pt.Start != 2*sim.Millisecond || pt.End != 3*sim.Millisecond {
+		t.Fatalf("partition: %+v", pt)
+	}
+	if len(p.CoreStalls) != 1 || p.CoreStalls[0] != (CoreStall{Node: 0, Core: 3, At: sim.Millisecond, Dur: 200 * sim.Microsecond}) {
+		t.Fatalf("core stalls: %+v", p.CoreStalls)
+	}
+	if len(p.DMAStalls) != 1 || p.DMAStalls[0] != (DMAStall{Node: 1, At: 2 * sim.Millisecond, Dur: 100 * sim.Microsecond}) {
+		t.Fatalf("dma stalls: %+v", p.DMAStalls)
+	}
+	if p.TxnTimeout != 500*sim.Microsecond || p.VerbTimeout != 100*sim.Microsecond {
+		t.Fatalf("timeouts: %+v", p)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDefaultsAndErrors(t *testing.T) {
+	// delay without maxdelay gets the default bound.
+	p, err := Parse("delay=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxDelay != 50*sim.Microsecond {
+		t.Fatalf("default maxdelay: %v", p.MaxDelay)
+	}
+	// Timeout defaults resolve when unset.
+	if p.TxnTimeoutOrDefault() != DefaultTxnTimeout || p.VerbTimeoutOrDefault() != DefaultVerbTimeout {
+		t.Fatal("timeout defaults")
+	}
+	for _, bad := range []string{
+		"bogus=1",          // unknown key
+		"drop",             // not key=value
+		"drop=x",           // bad float
+		"crash=2",          // missing @TIME
+		"crash=2@4",        // missing duration suffix
+		"part=1:2@2ms",     // missing +DUR
+		"stall=0@1ms+1us",  // missing /CORE
+		"dmastall=1@2ms+x", // bad duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	for name, p := range map[string]*Plan{
+		"prob>1":         {DropProb: 1.5},
+		"delay-no-bound": {DelayProb: 0.1},
+		"crash-oob":      {Crashes: []Crash{{Node: 9, At: sim.Millisecond}}},
+		"part-empty":     {Partitions: []Partition{{Start: 1, End: 2}}},
+		"part-inverted":  {Partitions: []Partition{{Nodes: []int{0}, Start: 2, End: 1}}},
+		"stall-zero-dur": {CoreStalls: []CoreStall{{Node: 0, Core: 1, At: 1}}},
+	} {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("%s validated", name)
+		}
+	}
+}
+
+func TestRandomPlanValidAndDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		a := RandomPlan(seed, 4)
+		if err := a.Validate(4); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b := RandomPlan(seed, 4)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: plans diverge:\n%s\n%s", seed, a, b)
+		}
+		// At most two nodes may die (crash or eviction-length partition) so
+		// 3-way replication always keeps a replica per shard.
+		deaths := len(a.Crashes)
+		for _, pt := range a.Partitions {
+			if pt.End-pt.Start >= 2*sim.Millisecond {
+				deaths += len(pt.Nodes)
+			}
+		}
+		if deaths > 2 {
+			t.Fatalf("seed %d: %d deaths: %s", seed, deaths, a)
+		}
+	}
+	if RandomPlan(1, 4).String() == RandomPlan(2, 4).String() {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestInjectorDeterministicStream(t *testing.T) {
+	plan := &Plan{DropProb: 0.1, DupProb: 0.1, DelayProb: 0.2, MaxDelay: 10 * sim.Microsecond}
+	run := func() []string {
+		eng := sim.NewEngine(1)
+		in := NewInjector(eng, plan, 7)
+		var out []string
+		for i := 0; i < 500; i++ {
+			drop, dup, delay := in.FrameFate(i%4, (i+1)%4)
+			out = append(out, strings.Join([]string{
+				map[bool]string{true: "D", false: "-"}[drop],
+				map[bool]string{true: "2", false: "-"}[dup],
+				delay.String(),
+			}, "/"))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fate %d diverges: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -55,10 +55,10 @@ func lioRTT(op lioOp, fromNIC bool, iters int, seed int64) sim.Time {
 	eng := sim.NewEngine(seed)
 	p := model.Default()
 	nw := simnet.New(eng, p, 2)
-	src := nicrt.New(eng, p, nw, 0, 2, nicrt.AllFeatures())
-	dst := nicrt.New(eng, p, nw, 1, 2, nicrt.AllFeatures())
-	srcHost := hostrt.New(eng, p, 0, 1)
-	dstHost := hostrt.New(eng, p, 1, 1)
+	src := nicrt.New(eng, p, nw, 0, 2, seed, nicrt.AllFeatures())
+	dst := nicrt.New(eng, p, nw, 1, 2, seed, nicrt.AllFeatures())
+	srcHost := hostrt.New(eng, p, 0, 1, seed)
+	dstHost := hostrt.New(eng, p, 1, 1, seed)
 
 	payload := make([]byte, 256)
 	req := func(seq uint64) wire.Msg {
@@ -199,8 +199,8 @@ func cx5RTT(iters int, seed int64) (read, write, rpc sim.Time) {
 		eng := sim.NewEngine(seed)
 		p := model.Default()
 		nw := simnet.New(eng, p, 2)
-		h0 := hostrt.New(eng, p, 0, 1)
-		h1 := hostrt.New(eng, p, 1, 1)
+		h0 := hostrt.New(eng, p, 0, 1, seed)
+		h1 := hostrt.New(eng, p, 1, 1, seed)
 		n0 := rdma.New(eng, p, nw, 0, h0)
 		n1 := rdma.New(eng, p, nw, 1, h1)
 		hist := metrics.NewHistogram()
@@ -300,7 +300,7 @@ func lioWriteTput(size int, batched, hostMem bool, window sim.Time, seed int64) 
 	feat := nicrt.Features{EthAggregation: batched, AsyncDMA: batched}
 	var nics []*nicrt.NIC
 	for i := 0; i < nodes; i++ {
-		nics = append(nics, nicrt.New(eng, p, nw, i, 16, feat))
+		nics = append(nics, nicrt.New(eng, p, nw, i, 16, seed, feat))
 	}
 	completed := 0
 	payload := make([]byte, size)
@@ -371,7 +371,7 @@ func cx5WriteTput(size int, window sim.Time, seed int64) float64 {
 	var hosts []*hostrt.Host
 	var rnics []*rdma.NIC
 	for i := 0; i < nodes; i++ {
-		h := hostrt.New(eng, p, i, 8)
+		h := hostrt.New(eng, p, i, 8, seed)
 		hosts = append(hosts, h)
 		rnics = append(rnics, rdma.New(eng, p, nw, i, h))
 	}

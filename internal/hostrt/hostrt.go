@@ -36,14 +36,16 @@ type Host struct {
 	util *metrics.Utilization
 }
 
-// New creates a host with n threads at the given node.
-func New(eng *sim.Engine, p model.Params, node, n int) *Host {
+// New creates a host with n threads at the given node. seed is the cluster
+// seed; the host PRNG derives from (seed, node) so distinct cluster seeds
+// explore distinct random streams on every node.
+func New(eng *sim.Engine, p model.Params, node, n int, seed int64) *Host {
 	if n <= 0 {
 		panic("hostrt: no threads")
 	}
 	h := &Host{
 		eng: eng, p: p, node: node,
-		rng:  rand.New(rand.NewSource(int64(node)*104729 + 7)),
+		rng:  rand.New(rand.NewSource(seed*1000003 + int64(node)*104729 + 7)),
 		util: metrics.NewUtilization(n),
 	}
 	for i := 0; i < n; i++ {

@@ -11,7 +11,7 @@ import (
 func newHost(t *testing.T, threads int) (*sim.Engine, *Host) {
 	t.Helper()
 	eng := sim.NewEngine(1)
-	h := New(eng, model.Default(), 0, threads)
+	h := New(eng, model.Default(), 0, threads, 1)
 	return eng, h
 }
 

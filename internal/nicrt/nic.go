@@ -39,6 +39,9 @@ type Stats struct {
 	HostRxMsgs          int64 // messages received from the local host
 	HostTxMsgs          int64 // messages sent to the local host
 	DMAReads, DMAWrites int64
+	DupFrames           int64 // duplicate frames suppressed by Seq (fault runs)
+	DeadDrops           int64 // frames dropped because no core is alive
+	DMARetries          int64 // DMA vectors resubmitted after injected errors
 }
 
 // NIC is one server's on-path SmartNIC: a set of polling cores over the
@@ -52,6 +55,11 @@ type NIC struct {
 	feat  Features
 	cores []*Core
 	rng   *rand.Rand
+
+	// Duplicate-frame suppression state, allocated lazily on fault-injection
+	// runs (the network stamps Frame.Seq per source).
+	seen   []map[uint64]struct{}
+	maxSeq []uint64
 
 	handler     Handler
 	hostDeliver func(ms []wire.Msg)
@@ -67,8 +75,10 @@ type NIC struct {
 	dmaVecOcc  metrics.IntHist // elements per submitted DMA vector
 }
 
-// New creates a NIC with ncores active cores attached to nw at node.
-func New(eng *sim.Engine, p model.Params, nw *simnet.Network, node, ncores int, feat Features) *NIC {
+// New creates a NIC with ncores active cores attached to nw at node. seed is
+// the cluster seed; each NIC derives its PRNG from (seed, node) so distinct
+// cluster seeds explore distinct random streams on every node.
+func New(eng *sim.Engine, p model.Params, nw *simnet.Network, node, ncores int, seed int64, feat Features) *NIC {
 	if ncores <= 0 || ncores > p.NICCores {
 		panic(fmt.Sprintf("nicrt: %d cores outside 1..%d", ncores, p.NICCores))
 	}
@@ -76,7 +86,7 @@ func New(eng *sim.Engine, p model.Params, nw *simnet.Network, node, ncores int, 
 		eng: eng, p: p, node: node, nw: nw,
 		dma:  pcie.New(eng, p),
 		feat: feat,
-		rng:  rand.New(rand.NewSource(int64(node)*7919 + 1)),
+		rng:  rand.New(rand.NewSource(seed*1000003 + int64(node)*7919 + 1)),
 		util: metrics.NewUtilization(ncores),
 	}
 	for i := 0; i < ncores; i++ {
@@ -135,6 +145,9 @@ func (n *NIC) RegisterMetrics(reg *metrics.Registry) {
 			"host_tx_msgs": s.HostTxMsgs,
 			"dma_reads":    s.DMAReads,
 			"dma_writes":   s.DMAWrites,
+			"dup_frames":   s.DupFrames,
+			"dead_drops":   s.DeadDrops,
+			"dma_retries":  s.DMARetries,
 		}
 	})
 	reg.RegisterIntHist("batch_msgs_per_frame", &n.batchSizes)
@@ -150,23 +163,81 @@ func (n *NIC) OnMessage(h Handler) { n.handler = h }
 // messages (the host runtime's dispatcher).
 func (n *NIC) OnHostDeliver(fn func(ms []wire.Msg)) { n.hostDeliver = fn }
 
-// dispatchFrame steers an arriving frame to a core by its flow label.
+// dispatchFrame steers an arriving frame to a core by its flow label. Frames
+// whose hashed core is stopped fall through to the next live core (the
+// hardware flow engine is reprogrammed around dead cores); when no core is
+// alive the frame is counted and dropped. On fault runs, duplicate deliveries
+// of the same frame (Frame.Seq already seen from that source) are suppressed.
 func (n *NIC) dispatchFrame(f *simnet.Frame) {
-	c := n.cores[hash64(uint64(f.Flow))%uint64(len(n.cores))]
-	if c.poller.Stopped() {
-		c = n.cores[0]
+	if f.Seq != 0 && n.dupFrame(f) {
+		n.stats.DupFrames++
+		return
+	}
+	c := n.liveCoreFrom(int(hash64(uint64(f.Flow)) % uint64(len(n.cores))))
+	if c == nil {
+		n.stats.DeadDrops++
+		return
 	}
 	c.inFrames = append(c.inFrames, f)
 	c.poller.Wake()
 }
 
+// dupFrame records f's sequence number and reports whether it was already
+// delivered from this source. The seen-set is pruned by window: delayed
+// frames arrive out of order, so a bounded set of recent seqs is kept.
+func (n *NIC) dupFrame(f *simnet.Frame) bool {
+	if n.seen == nil {
+		n.seen = make([]map[uint64]struct{}, n.nw.Nodes())
+		n.maxSeq = make([]uint64, n.nw.Nodes())
+	}
+	m := n.seen[f.Src]
+	if m == nil {
+		m = map[uint64]struct{}{}
+		n.seen[f.Src] = m
+	}
+	if _, dup := m[f.Seq]; dup {
+		return true
+	}
+	m[f.Seq] = struct{}{}
+	if f.Seq > n.maxSeq[f.Src] {
+		n.maxSeq[f.Src] = f.Seq
+	}
+	if len(m) > 8192 {
+		floor := n.maxSeq[f.Src] - 4096
+		for s := range m {
+			if s < floor {
+				delete(m, s)
+			}
+		}
+	}
+	return false
+}
+
+// liveCoreFrom returns the first live core scanning from idx, or nil when
+// every core is stopped.
+func (n *NIC) liveCoreFrom(idx int) *Core {
+	for i := 0; i < len(n.cores); i++ {
+		c := n.cores[(idx+i)%len(n.cores)]
+		if !c.poller.Stopped() {
+			return c
+		}
+	}
+	return nil
+}
+
 // FromHost delivers a batch of host-originated messages (one PCIe packet)
 // to a NIC core. Called by the host runtime after the HostToNIC delay.
+// Like dispatchFrame, it routes around stopped cores and counts the batch as
+// dropped if none remain.
 func (n *NIC) FromHost(ms []wire.Msg) {
 	if len(ms) == 0 {
 		return
 	}
-	c := n.cores[hash64(txnOf(ms[0]))%uint64(len(n.cores))]
+	c := n.liveCoreFrom(int(hash64(txnOf(ms[0])) % uint64(len(n.cores))))
+	if c == nil {
+		n.stats.DeadDrops++
+		return
+	}
 	c.inHost = append(c.inHost, ms)
 	c.poller.Wake()
 }
@@ -187,6 +258,43 @@ func hash64(v uint64) uint64 {
 
 // StopCore parks core i permanently (failure injection / thread scaling).
 func (n *NIC) StopCore(i int) { n.cores[i].poller.Stop() }
+
+// StallCore freezes core i for dur: its next loop iteration is charged the
+// whole stall as dead time, delaying everything queued behind it. Finite
+// stalls model firmware hiccups without the liveness hazards of StopCore.
+func (n *NIC) StallCore(i int, dur sim.Time) {
+	n.Inject(i, func(c *Core) { c.poller.Charge(dur) })
+}
+
+// LiveCore returns the index of a live core (0 when every core is stopped,
+// so existing Inject(0) semantics degrade gracefully).
+func (n *NIC) LiveCore() int {
+	for i, c := range n.cores {
+		if !c.poller.Stopped() {
+			return i
+		}
+	}
+	return 0
+}
+
+// CoreFor returns a live core index for flow key k: the deterministic hash
+// choice, falling through to the next live core when that one is stopped.
+func (n *NIC) CoreFor(k uint64) int {
+	idx := int(hash64(k) % uint64(len(n.cores)))
+	for i := 0; i < len(n.cores); i++ {
+		j := (idx + i) % len(n.cores)
+		if !n.cores[j].poller.Stopped() {
+			return j
+		}
+	}
+	return idx
+}
+
+// SetDMAFault installs the DMA completion-error decision hook (fault runs).
+func (n *NIC) SetDMAFault(fn func() bool) { n.dma.SetFaultHook(fn) }
+
+// StallDMA freezes the DMA engine for dur.
+func (n *NIC) StallDMA(dur sim.Time) { n.dma.Stall(dur) }
 
 // Inject schedules fn to run on core i's next loop iteration; protocol
 // timers and NIC-originated microbenchmarks use it.
@@ -402,6 +510,7 @@ func (c *Core) submitVector(write bool) {
 			trace.Args{"n": len(sizes), "write": write})
 	}
 	core := c
+	queue := c.id % p.DMAQueues
 	v := &pcie.Vector{
 		Write: write,
 		Sizes: sizes,
@@ -412,10 +521,41 @@ func (c *Core) submitVector(write bool) {
 			core.poller.Wake()
 		},
 	}
+	// On fault runs the engine may fail the completion; the runtime retries
+	// the same vector after a deterministic capped-exponential backoff, so a
+	// burst of injected errors delays the continuations instead of losing
+	// them.
+	attempt := 0
+	v.Failed = func() {
+		attempt++
+		core.nic.stats.DMARetries++
+		if tr := core.nic.tr; tr.Enabled() {
+			tr.Instant("fault", "dma-retry", core.nic.node, core.id, core.nic.eng.Now(),
+				trace.Args{"attempt": attempt, "write": write})
+		}
+		core.nic.eng.After(dmaRetryBackoff(attempt), func() { core.nic.dma.Submit(queue, v) })
+	}
 	// Submit at the core's current instant so engine admission sees the
 	// true submission time, not the iteration's start.
-	queue := c.id % p.DMAQueues
 	c.poller.At(0, func() { c.nic.dma.Submit(queue, v) })
+}
+
+// DMA resubmission backoff: deterministic capped doubling, mirroring the
+// transport-level retransmission policy in simnet.
+const (
+	dmaRetryBase = 2 * sim.Microsecond
+	dmaRetryMax  = 50 * sim.Microsecond
+)
+
+func dmaRetryBackoff(attempt int) sim.Time {
+	d := dmaRetryBase
+	for i := 1; i < attempt && d < dmaRetryMax; i++ {
+		d *= 2
+	}
+	if d > dmaRetryMax {
+		d = dmaRetryMax
+	}
+	return d
 }
 
 // flushDMA submits any partial vectors at iteration end ("when a NIC core

@@ -98,8 +98,8 @@ func twoNICs(t *testing.T, feat Features) (*sim.Engine, *simnet.Network, *NIC, *
 	eng := sim.NewEngine(1)
 	p := model.Default()
 	nw := simnet.New(eng, p, 2)
-	a := New(eng, p, nw, 0, 4, feat)
-	b := New(eng, p, nw, 1, 4, feat)
+	a := New(eng, p, nw, 0, 4, 1, feat)
+	b := New(eng, p, nw, 1, 4, 1, feat)
 	for _, n := range []*NIC{a, b} {
 		n.OnHostDeliver(func(ms []wire.Msg) {})
 	}
@@ -302,6 +302,73 @@ func TestSelfSendPanics(t *testing.T) {
 		c.Send(0, &wire.ValidateResp{})
 	})
 	eng.RunAll()
+}
+
+func TestAllCoresStoppedFramesDeadDrop(t *testing.T) {
+	eng, _, a, b, _ := twoNICs(t, AllFeatures())
+	got := 0
+	b.OnMessage(func(c *Core, src int, m wire.Msg) { got++ })
+	a.OnMessage(func(c *Core, src int, m wire.Msg) {})
+	for i := 0; i < b.Cores(); i++ {
+		b.StopCore(i)
+	}
+	a.Inject(0, func(c *Core) {
+		for i := 0; i < 8; i++ {
+			c.Send(1, &wire.ValidateResp{Header: wire.Header{TxnID: uint64(i)}})
+		}
+	})
+	eng.RunAll()
+	if got != 0 {
+		t.Fatalf("dead NIC delivered %d messages", got)
+	}
+	if b.Stats().DeadDrops == 0 {
+		t.Fatal("frames to a dead NIC were not counted as dead drops")
+	}
+	if b.Stats().RxMsgs != 0 {
+		t.Fatalf("dead NIC counted %d rx msgs", b.Stats().RxMsgs)
+	}
+}
+
+func TestFromHostReroutesAroundStoppedCores(t *testing.T) {
+	eng, _, a, _, _ := twoNICs(t, AllFeatures())
+	got := 0
+	a.OnMessage(func(c *Core, src int, m wire.Msg) { got++ })
+	// Stop all but core 0; host batches with any txn hash still land.
+	for i := 1; i < a.Cores(); i++ {
+		a.StopCore(i)
+	}
+	eng.Defer(func() {
+		for i := 0; i < 8; i++ {
+			a.FromHost([]wire.Msg{&wire.TxnDone{Header: wire.Header{TxnID: uint64(i), Src: 0}}})
+		}
+	})
+	eng.RunAll()
+	if got != 8 {
+		t.Fatalf("delivered %d host batches with stopped cores", got)
+	}
+	if a.Stats().DeadDrops != 0 {
+		t.Fatalf("dead drops counted with a live core: %d", a.Stats().DeadDrops)
+	}
+}
+
+func TestFromHostAllCoresStoppedDeadDrops(t *testing.T) {
+	eng, _, a, _, _ := twoNICs(t, AllFeatures())
+	got := 0
+	a.OnMessage(func(c *Core, src int, m wire.Msg) { got++ })
+	for i := 0; i < a.Cores(); i++ {
+		a.StopCore(i)
+	}
+	eng.Defer(func() {
+		a.FromHost([]wire.Msg{&wire.TxnDone{Header: wire.Header{TxnID: 1, Src: 0}}})
+		a.FromHost(nil) // empty batches are ignored, not counted
+	})
+	eng.RunAll()
+	if got != 0 {
+		t.Fatalf("dead NIC processed %d host batches", got)
+	}
+	if a.Stats().DeadDrops != 1 {
+		t.Fatalf("dead drops = %d, want 1", a.Stats().DeadDrops)
+	}
 }
 
 func TestStoppedCoreFramesRerouted(t *testing.T) {

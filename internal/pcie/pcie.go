@@ -21,6 +21,10 @@ type Vector struct {
 	Write    bool
 	Sizes    []int  // element sizes in bytes
 	Complete func() // runs when the completion status byte lands
+	// Failed, when non-nil, runs instead of Complete if the fault hook
+	// declares this vector's completion an error (the submitter retries).
+	// Vectors without a Failed callback never see injected errors.
+	Failed func()
 }
 
 // Engine is one SmartNIC's DMA engine. Not safe for concurrent use; all
@@ -37,6 +41,29 @@ type Engine struct {
 	bytes       int64
 	readBytes   int64
 	writeBytes  int64
+
+	// faultHook, when set, is consulted at each completion of a vector that
+	// has a Failed callback; returning true fails the vector.
+	faultHook func() bool
+	failures  int64
+}
+
+// SetFaultHook installs the completion-error decision hook (fault runs).
+func (d *Engine) SetFaultHook(fn func() bool) { d.faultHook = fn }
+
+// Failures reports injected completion errors.
+func (d *Engine) Failures() int64 { return d.failures }
+
+// Stall freezes the engine for dur: admission and element cursors are
+// pushed past now+dur, so in-flight and subsequent work completes late.
+func (d *Engine) Stall(dur sim.Time) {
+	edge := d.eng.Now() + dur
+	if d.submitBusy < edge {
+		d.submitBusy = edge
+	}
+	if d.elementBusy < edge {
+		d.elementBusy = edge
+	}
 }
 
 // New returns a DMA engine using parameters p.
@@ -113,7 +140,14 @@ func (d *Engine) Submit(queue int, v *Vector) {
 		lat = d.p.DMAReadLatency
 	}
 	if v.Complete != nil {
-		d.eng.At(finish+lat, v.Complete)
+		d.eng.At(finish+lat, func() {
+			if v.Failed != nil && d.faultHook != nil && d.faultHook() {
+				d.failures++
+				v.Failed()
+				return
+			}
+			v.Complete()
+		})
 	}
 }
 
@@ -140,5 +174,6 @@ func (d *Engine) Snapshot() map[string]any {
 		"bytes":       d.bytes,
 		"read_bytes":  d.readBytes,
 		"write_bytes": d.writeBytes,
+		"failures":    d.failures,
 	}
 }

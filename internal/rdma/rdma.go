@@ -70,6 +70,13 @@ type request struct {
 	donePayload func(ok bool)
 	respTo      *NIC
 	thread      *hostrt.Thread
+
+	// id is a per-initiator sequence number; under fault injection the
+	// target suppresses re-executions and the initiator matches responses
+	// to outstanding requests by it.
+	id        uint64
+	dst       int
+	wireBytes int
 }
 
 // response rides back to the initiator NIC.
@@ -79,10 +86,13 @@ type response struct {
 	req     *request
 }
 
-// Stats counts verbs by type.
+// Stats counts verbs by type, plus fault-mode transport events.
 type Stats struct {
 	Reads, Writes, Atomics, Sends int64
 	BytesOut                      int64
+	// Fault-mode counters: RC-transport timeouts that retransmitted a verb,
+	// and duplicate requests/responses suppressed by sequence matching.
+	VerbTimeouts, DupRequests, DupResponses int64
 }
 
 // NIC is one server's RDMA NIC.
@@ -95,6 +105,17 @@ type NIC struct {
 
 	issueBusy sim.Time // initiator-side verb pacing (doorbell-batched cap)
 	procBusy  sim.Time // target-side verb pacing
+
+	// Fault-mode state (nil/zero unless SetFaultTimeout was called): the
+	// verbs' RC transport times out one-sided requests and retransmits them
+	// with capped exponential backoff; the target deduplicates executions
+	// by request id and the initiator matches responses to outstanding
+	// requests so no verb side effect runs twice.
+	verbTimeout sim.Time
+	nextID      uint64
+	outstanding map[uint64]*request
+	seen        []map[uint64]struct{} // executed request ids, per source
+	maxID       []uint64
 
 	stats Stats
 }
@@ -109,6 +130,18 @@ func New(eng *sim.Engine, p model.Params, nw *simnet.Network, node int, host *ho
 
 // Node returns the NIC's node id.
 func (n *NIC) Node() int { return n.node }
+
+// SetFaultTimeout enables fault-mode operation with verb timeout d: the NIC
+// deduplicates requests and responses and retransmits timed-out one-sided
+// verbs with capped exponential backoff (doubling from d, capped at 8d).
+// Two-sided SENDs are never retransmitted — the fabric's reliable transport
+// delivers them exactly once.
+func (n *NIC) SetFaultTimeout(d sim.Time) {
+	n.verbTimeout = d
+	n.outstanding = map[uint64]*request{}
+	n.seen = make([]map[uint64]struct{}, n.nw.Nodes())
+	n.maxID = make([]uint64, n.nw.Nodes())
+}
 
 // Stats returns a copy of the verb counters.
 func (n *NIC) Stats() Stats { return n.stats }
@@ -190,15 +223,44 @@ func (n *NIC) verb(t *hostrt.Thread, dst int, r *request) {
 	r.src = n.node
 	r.respTo = n
 	r.thread = t
+	n.nextID++
+	r.id = n.nextID
+	r.dst = dst
 	now := t.Now()
 	start := pace(&n.issueBusy, now, n.gap())
 	wireBytes := verbHeader
 	if r.kind == kWrite || r.kind == kSend {
 		wireBytes += r.payload
 	}
+	r.wireBytes = wireBytes
 	n.stats.BytesOut += int64(wireBytes)
 	n.eng.At(start+p.RDMANICProc, func() {
 		n.sendFrames(dst, wireBytes, r)
+		if n.verbTimeout > 0 && r.kind != kSend {
+			n.outstanding[r.id] = r
+			n.armVerbTimer(r, n.verbTimeout)
+		}
+	})
+}
+
+// armVerbTimer retransmits r if no response arrived within d, re-arming
+// with the delay doubled up to 8x the base timeout. The fabric's reliable
+// transport guarantees eventual delivery between live endpoints, so the
+// timer only fires on long tails (fault delays, transport backoff); the
+// target suppresses duplicate executions by request id.
+func (n *NIC) armVerbTimer(r *request, d sim.Time) {
+	n.eng.After(d, func() {
+		if _, ok := n.outstanding[r.id]; !ok {
+			return
+		}
+		n.stats.VerbTimeouts++
+		n.stats.BytesOut += int64(r.wireBytes)
+		n.sendFrames(r.dst, r.wireBytes, r)
+		next := 2 * d
+		if ceil := 8 * n.verbTimeout; next > ceil {
+			next = ceil
+		}
+		n.armVerbTimer(r, next)
 	})
 }
 
@@ -231,6 +293,10 @@ func (n *NIC) onFrame(f *simnet.Frame) {
 }
 
 func (n *NIC) handleRequest(r *request) {
+	if n.seen != nil && n.dupRequest(r) {
+		n.stats.DupRequests++
+		return
+	}
 	p := n.p
 	start := pace(&n.procBusy, n.eng.Now(), n.gap())
 	switch r.kind {
@@ -264,9 +330,42 @@ func (n *NIC) respond(r *request, resp *response, wireBytes int) {
 	n.sendFrames(r.src, wireBytes, resp)
 }
 
+// dupRequest records r as executed, reporting whether it already was. The
+// per-source seen set is pruned by id window once it grows large.
+func (n *NIC) dupRequest(r *request) bool {
+	s := n.seen[r.src]
+	if s == nil {
+		s = map[uint64]struct{}{}
+		n.seen[r.src] = s
+	}
+	if _, ok := s[r.id]; ok {
+		return true
+	}
+	s[r.id] = struct{}{}
+	if r.id > n.maxID[r.src] {
+		n.maxID[r.src] = r.id
+	}
+	if len(s) > 8192 {
+		floor := n.maxID[r.src] - 4096
+		for id := range s {
+			if id < floor {
+				delete(s, id)
+			}
+		}
+	}
+	return false
+}
+
 func (n *NIC) handleResponse(resp *response) {
 	p := n.p
 	r := resp.req
+	if n.outstanding != nil {
+		if _, ok := n.outstanding[r.id]; !ok {
+			n.stats.DupResponses++
+			return
+		}
+		delete(n.outstanding, r.id)
+	}
 	n.eng.After(p.RDMANICProc+p.RDMACompletion, func() {
 		if r.donePayload != nil {
 			r.thread.Deliver(n.node, &Completion{

@@ -17,8 +17,8 @@ func pair(t *testing.T) (*sim.Engine, *hostrt.Host, *hostrt.Host, *NIC, *NIC, mo
 	eng := sim.NewEngine(1)
 	p := model.Default()
 	nw := simnet.New(eng, p, 2)
-	h0 := hostrt.New(eng, p, 0, 2)
-	h1 := hostrt.New(eng, p, 1, 2)
+	h0 := hostrt.New(eng, p, 0, 2, 1)
+	h1 := hostrt.New(eng, p, 1, 2, 1)
 	n0 := New(eng, p, nw, 0, h0)
 	n1 := New(eng, p, nw, 1, h1)
 	for _, h := range []*hostrt.Host{h0, h1} {
@@ -166,8 +166,8 @@ func TestRateCapBindsUnderLoad(t *testing.T) {
 	eng := sim.NewEngine(1)
 	p := model.Default()
 	nw := simnet.New(eng, p, 2)
-	h0 := hostrt.New(eng, p, 0, 12)
-	h1 := hostrt.New(eng, p, 1, 2)
+	h0 := hostrt.New(eng, p, 0, 12, 1)
+	h1 := hostrt.New(eng, p, 1, 2, 1)
 	n0 := New(eng, p, nw, 0, h0)
 	New(eng, p, nw, 1, h1)
 	for _, h := range []*hostrt.Host{h0, h1} {

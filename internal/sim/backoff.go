@@ -1,0 +1,32 @@
+package sim
+
+import "math/rand"
+
+// Backoff returns a randomized capped-exponential delay for the given retry
+// attempt (0-based): the window doubles with each attempt from base up to
+// max, and the returned delay is drawn uniformly from the upper half of the
+// window so consecutive retries always make progress but still decorrelate.
+// All callers that retry — transaction retries, retransmissions, DMA
+// resubmission — share this shape so hot-key livelock decays instead of
+// re-colliding at a fixed cadence.
+func Backoff(rng *rand.Rand, base, max Time, attempt int) Time {
+	if base <= 0 {
+		base = Microsecond
+	}
+	if max < base {
+		max = base
+	}
+	window := base
+	for i := 0; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max {
+		window = max
+	}
+	// Upper-half jitter: [window/2, window).
+	half := window / 2
+	if half <= 0 {
+		return window
+	}
+	return half + Time(rng.Int63n(int64(half)))
+}

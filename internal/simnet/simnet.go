@@ -23,6 +23,9 @@ type Frame struct {
 	// Flow is an opaque flow label (e.g. source core); receivers' hardware
 	// flow engines steer frames to cores by it (§4.3.2).
 	Flow int
+	// Seq is a per-(src,dst) sequence number stamped on fault-injection
+	// runs; receivers use it to discard duplicated deliveries.
+	Seq  uint64
 	Msgs []any
 }
 
@@ -46,7 +49,55 @@ type Network struct {
 	eng   *sim.Engine
 	p     model.Params
 	ports []port
+
+	// Fault injection (nil on fault-free runs; see SetFault).
+	fate func(src, dst int) (drop, dup bool, delay sim.Time)
+	live func(node int) bool
+	seq  [][]uint64 // per-(src,dst) frame sequence numbers
+	retx int64      // transport retransmissions of dropped frames
+	lost int64      // frames abandoned because an endpoint died
 }
+
+// Retransmission backoff for frames the fault hook drops. The model is a
+// reliable transport (RoCE RC-style ARQ): the simulator knows the frame was
+// lost and re-runs the transmission after a deterministic capped-exponential
+// delay, re-consulting the fault hook each attempt — so a partition blocks
+// frames until it heals (or an endpoint dies) rather than losing them.
+const (
+	retxBase = 8 * sim.Microsecond
+	retxMax  = 100 * sim.Microsecond
+)
+
+func retxBackoff(attempt int) sim.Time {
+	d := retxBase
+	for i := 0; i < attempt && d < retxMax; i++ {
+		d *= 2
+	}
+	if d > retxMax {
+		d = retxMax
+	}
+	return d
+}
+
+// SetFault installs the frame-fault hook (and a liveness oracle used to
+// abandon retransmissions to or from dead nodes). Must be called before any
+// traffic; enables per-frame Seq stamping.
+func (n *Network) SetFault(fate func(src, dst int) (drop, dup bool, delay sim.Time), live func(node int) bool) {
+	n.fate = fate
+	n.live = live
+	n.seq = make([][]uint64, len(n.ports))
+	for i := range n.seq {
+		n.seq[i] = make([]uint64, len(n.ports))
+	}
+}
+
+// Faulty reports whether a fault hook is installed (receivers enable
+// duplicate-frame suppression when it is).
+func (n *Network) Faulty() bool { return n.fate != nil }
+
+// FaultCounters reports transport-level retransmissions and abandoned
+// frames on fault-injection runs.
+func (n *Network) FaultCounters() (retx, lost int64) { return n.retx, n.lost }
 
 // New creates a fabric with n node ports using parameters p.
 func New(eng *sim.Engine, p model.Params, n int) *Network {
@@ -94,8 +145,25 @@ func (n *Network) Send(f *Frame) {
 	if f.PayloadBytes > n.p.MTU {
 		panic(fmt.Sprintf("simnet: frame payload %dB exceeds MTU %dB", f.PayloadBytes, n.p.MTU))
 	}
+	if n.fate != nil {
+		n.seq[f.Src][f.Dst]++
+		f.Seq = n.seq[f.Src][f.Dst]
+	}
+	n.transmit(f, 0)
+}
+
+// transmit runs one transmission attempt of f (attempt > 0 marks transport
+// retransmissions of frames the fault hook dropped). Each attempt charges
+// the sender's egress lane — retransmitted frames occupy the wire again.
+func (n *Network) transmit(f *Frame, attempt int) {
 	src, dst := &n.ports[f.Src], &n.ports[f.Dst]
 	now := n.eng.Now()
+	if n.fate != nil && n.live != nil && (!n.live(f.Src) || !n.live(f.Dst)) {
+		// A dead endpoint stops retransmitting (or acking); the transport
+		// abandons the frame.
+		n.lost++
+		return
+	}
 	ser := n.p.SerializationDelay(n.p.WireBytes(f.PayloadBytes))
 
 	lane := pickLane(src.egressBusy)
@@ -108,8 +176,20 @@ func (n *Network) Send(f *Frame) {
 	src.txBytes += int64(n.p.WireBytes(f.PayloadBytes))
 	src.txFrames++
 
+	var dupFrame bool
+	var extraDelay sim.Time
+	if n.fate != nil {
+		var drop bool
+		drop, dupFrame, extraDelay = n.fate(f.Src, f.Dst)
+		if drop {
+			n.retx++
+			n.eng.At(egressDone+retxBackoff(attempt), func() { n.transmit(f, attempt+1) })
+			return
+		}
+	}
+
 	inLane := pickLane(dst.ingressBusy)
-	arrive := egressDone + n.p.PropDelay
+	arrive := egressDone + n.p.PropDelay + extraDelay
 	if b := dst.ingressBusy[inLane] + ser; b > arrive {
 		arrive = b
 	}
@@ -121,6 +201,10 @@ func (n *Network) Send(f *Frame) {
 		panic(fmt.Sprintf("simnet: no handler attached at node %d", f.Dst))
 	}
 	n.eng.At(arrive, func() { h(f) })
+	if dupFrame {
+		// Duplicate delivery of the same frame; receivers suppress it by Seq.
+		n.eng.At(arrive, func() { h(f) })
+	}
 }
 
 // TxBytes reports total wire bytes transmitted by node id.

@@ -67,8 +67,12 @@ const (
 	// StatusAbortView aborts an in-flight transaction because a view change
 	// invalidated its coordinator or a participant shard (§4.2.1).
 	StatusAbortView
+	// StatusAbortTimeout aborts a transaction whose coordinator watchdog
+	// expired while waiting on remote responses (fault-injection runs only):
+	// the coordinator releases its locks and retries instead of stranding.
+	StatusAbortTimeout
 
-	NumStatuses = int(StatusAbortView) + 1
+	NumStatuses = int(StatusAbortTimeout) + 1
 )
 
 func (s Status) String() string {
@@ -83,6 +87,8 @@ func (s Status) String() string {
 		return "abort-missing"
 	case StatusAbortView:
 		return "abort-view"
+	case StatusAbortTimeout:
+		return "abort-timeout"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }

@@ -20,6 +20,7 @@ package xenic
 import (
 	"xenic/internal/baseline"
 	"xenic/internal/core"
+	"xenic/internal/fault"
 	"xenic/internal/metrics"
 	"xenic/internal/model"
 	"xenic/internal/sim"
@@ -154,3 +155,18 @@ type StatsRegistry = metrics.Registry
 // NewStatsRegistry returns an empty stats registry; populate it with
 // Cluster.RegisterMetrics or BaselineCluster.RegisterMetrics.
 func NewStatsRegistry() *StatsRegistry { return metrics.NewRegistry() }
+
+// FaultPlan is a deterministic fault-injection schedule: frame
+// drop/duplication/delay probabilities, network partitions, node crashes,
+// NIC core and DMA engine stalls, and the timeout knobs consumers use to
+// survive them. Attach one via Config.Faults or BaselineConfig.Faults;
+// the same seed and plan reproduce the exact same run.
+type FaultPlan = fault.Plan
+
+// ParseFaultPlan parses the -faults specification grammar, e.g.
+// "drop=0.01,dup=0.005,crash=2@4ms,part=1:2@2ms+1ms".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// RandomFaultPlan generates a seeded random fault plan for an n-node
+// cluster, as used by the harness chaos mode.
+func RandomFaultPlan(seed int64, nodes int) *FaultPlan { return fault.RandomPlan(seed, nodes) }
