@@ -11,18 +11,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"xenic/internal/harness"
+	"xenic/internal/harness/wallbench"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced populations and windows (seconds instead of minutes)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "experiment cells run concurrently (1 = serial; results are identical at any -j)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	statsOut := flag.String("stats", "", "write per-run stats-registry snapshots to this JSON file")
+	jsonOut := flag.String("json", "", "write machine-readable reports (typed cells) to this JSON file")
+	wallOut := flag.String("wallbench", "", "time the harness itself (wall seconds, cells/sec, peak RSS, engine allocs/op) and write the result to this JSON file")
+	baselinePath := flag.String("baseline", "", "with -wallbench: compare against this committed baseline, exit nonzero if cells/sec regresses >20% or a hot path allocates")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: xenic-bench [-quick] [-seed N] <experiment-id>... | all\n\n")
+		fmt.Fprintf(os.Stderr, "usage: xenic-bench [-quick] [-seed N] [-j N] <experiment-id>... | all\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
 		for _, e := range harness.All() {
 			fmt.Fprintf(os.Stderr, "  %-8s %s\n           paper: %s\n", e.ID, e.Title, e.PaperRef)
@@ -37,7 +43,7 @@ func main() {
 		return
 	}
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *wallOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -50,8 +56,35 @@ func main() {
 		ids = args
 	}
 
-	opt := harness.Options{Quick: *quick, Seed: *seed}
+	if *wallOut != "" {
+		if len(ids) == 0 {
+			ids = wallbench.DefaultSweep()
+		}
+		res, err := wallbench.Run(harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}, ids)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		writeJSON(*wallOut, res)
+		fmt.Printf("wallbench: %d cells in %.2fs (%.2f cells/sec, -j %d), peak RSS %.1f MiB\n",
+			res.Cells, res.WallSeconds, res.CellsPerSec, res.Workers, float64(res.PeakRSSBytes)/(1<<20))
+		for _, e := range res.Engine {
+			fmt.Printf("wallbench: %-22s %8.2f ns/op  %d allocs/op  %d B/op\n",
+				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		}
+		if *baselinePath != "" {
+			if err := wallbench.Check(res, *baselinePath, 0.20); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wallbench: within 20%% of baseline %s\n", *baselinePath)
+		}
+		return
+	}
+
+	opt := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	allStats := map[string]any{}
+	var reports []*harness.Report
 	for _, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
@@ -70,17 +103,25 @@ func main() {
 			allStats[e.ID] = o.Stats.Snaps
 		}
 		r.Print(os.Stdout)
+		reports = append(reports, r)
 		fmt.Printf("# wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *statsOut != "" {
-		b, err := json.MarshalIndent(allStats, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*statsOut, append(b, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		writeJSON(*statsOut, allStats)
+	}
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, reports)
+	}
+}
+
+func writeJSON(path string, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"xenic/internal/sim"
 	"xenic/internal/simnet"
 	"xenic/internal/store/btree"
+	"xenic/internal/trace"
 	"xenic/internal/txnmodel"
 	"xenic/internal/wire"
 )
@@ -24,8 +25,32 @@ type Cluster struct {
 	gen    txnmodel.Generator
 	place  txnmodel.Placement
 	reg    *txnmodel.Registry
+	tracer *trace.Tracer
 	loadOn bool
 }
+
+// SetTracer attaches tr to the cluster (nil disables tracing). Call after
+// New and before Start. The baseline data path is RDMA verbs, so the trace
+// carries process/thread metadata and fault-injection events rather than
+// per-phase spans; it exists mainly so any System can be traced uniformly.
+func (cl *Cluster) SetTracer(tr *trace.Tracer) {
+	cl.tracer = tr
+	if cl.inj != nil {
+		cl.inj.SetTracer(tr)
+	}
+	if !tr.Enabled() {
+		return
+	}
+	for _, n := range cl.nodes {
+		tr.MetaProcess(n.id, fmt.Sprintf("node%d", n.id))
+		for h := 0; h < cl.cfg.Threads; h++ {
+			tr.MetaThread(n.id, h, fmt.Sprintf("host-app%d", h))
+		}
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (cl *Cluster) Tracer() *trace.Tracer { return cl.tracer }
 
 // New builds and populates a baseline cluster running workload gen.
 func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
@@ -157,33 +182,9 @@ func (cl *Cluster) Drain(deadline sim.Time) bool {
 	return cl.Quiesced()
 }
 
-// Result mirrors core.Cluster's measurement summary.
-type Result struct {
-	Duration      sim.Time
-	Committed     int64
-	Measured      int64
-	Aborts        int64
-	Failed        int64
-	PerServerTput float64
-	Median        sim.Time
-	P99           sim.Time
-	Mean          sim.Time
-	// Abort breakdown by reason.
-	AbortLocked  int64
-	AbortVersion int64
-	AbortMissing int64
-	AbortView    int64
-}
-
-func (r Result) String() string {
-	s := fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d",
-		r.PerServerTput, r.Median, r.P99, r.Aborts)
-	if r.Aborts > 0 {
-		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
-			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
-	}
-	return s + fmt.Sprintf(" failed=%d", r.Failed)
-}
+// Result is the shared measurement summary in txnmodel; Xenic and baseline
+// windows report through the same type.
+type Result = txnmodel.Result
 
 // Measure runs warmup, resets statistics, runs the window, aggregates.
 func (cl *Cluster) Measure(warmup, window sim.Time) Result {

@@ -248,33 +248,9 @@ func (cl *Cluster) StopLoad() { cl.loadOn = false }
 // Run advances simulated time by d.
 func (cl *Cluster) Run(d sim.Time) { cl.eng.Run(cl.eng.Now() + d) }
 
-// Result summarizes a measurement window.
-type Result struct {
-	Duration      sim.Time
-	Committed     int64 // all committed transactions
-	Measured      int64 // workload-counted transactions (e.g. new orders)
-	Aborts        int64
-	Failed        int64
-	PerServerTput float64 // measured transactions /s /server
-	Median        sim.Time
-	P99           sim.Time
-	Mean          sim.Time
-	// Abort breakdown by reason.
-	AbortLocked  int64
-	AbortVersion int64
-	AbortMissing int64
-	AbortView    int64
-}
-
-func (r Result) String() string {
-	s := fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d",
-		r.PerServerTput, r.Median, r.P99, r.Aborts)
-	if r.Aborts > 0 {
-		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
-			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
-	}
-	return s + fmt.Sprintf(" failed=%d", r.Failed)
-}
+// Result summarizes a measurement window. It is the shared measurement type
+// in txnmodel, so Xenic and baseline results are directly comparable.
+type Result = txnmodel.Result
 
 // Measure runs warmup, resets statistics, runs the measurement window, and
 // aggregates cluster-wide results.

@@ -54,7 +54,12 @@ func runAblateCache(opt Options) *Report {
 	}
 	r := &Report{ID: "ablate-cache", Title: "Retwis vs NIC cache capacity",
 		Header: []string{"cache/keys", "tput/server", "median", "cache hit rate"}}
-	for _, f := range fracs {
+	type sample struct {
+		res Result
+		hr  float64
+	}
+	samples := runCells(opt, len(fracs), func(i int, o Options) sample {
+		f := fracs[i]
 		g := retwis.New()
 		g.KeysPerServer = keys
 		g.CacheObjects = int(float64(keys) * f)
@@ -62,13 +67,13 @@ func runAblateCache(opt Options) *Report {
 		cfg := core.DefaultConfig()
 		cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 3, 16
 		cfg.Outstanding = 32
-		cfg.Seed = opt.Seed
+		cfg.Seed = o.Seed
 		cl, err := core.New(cfg, g)
 		if err != nil {
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
-		opt.Stats.Snap(fmt.Sprintf("ablate-cache/%.3f", f), cl.RegisterMetrics)
+		o.Stats.Snap(fmt.Sprintf("ablate-cache/%.3f", f), cl.RegisterMetrics)
 		var hits, lookups int64
 		for i := 0; i < cl.Nodes(); i++ {
 			s := cl.Node(i).Index().Stats()
@@ -79,8 +84,12 @@ func runAblateCache(opt Options) *Report {
 		if lookups > 0 {
 			hr = float64(hits) / float64(lookups)
 		}
-		r.AddRow(fmt.Sprintf("%.3f", f), ktps(res.PerServerTput), us(res.Median),
-			fmt.Sprintf("%.1f%%", 100*hr))
+		return sample{res: res, hr: hr}
+	})
+	for i, f := range fracs {
+		s := samples[i]
+		r.AddCells(Num(f, fmt.Sprintf("%.3f", f)), Tput(s.res.PerServerTput),
+			Micros(s.res.Median), Num(100*s.hr, fmt.Sprintf("%.1f%%", 100*s.hr)))
 	}
 	r.AddNote("smaller caches push lookups onto the DMA path; the async pipeline hides the misses until PCIe bandwidth saturates (§4.3.2-4.3.3)")
 	return r
@@ -94,12 +103,17 @@ func runAblateDm(opt Options) *Report {
 	n := slots * 9 / 10
 	r := &Report{ID: "ablate-dm", Title: fmt.Sprintf("Robinhood Dm sweep, %d keys at 90%%", n),
 		Header: []string{"Dm", "bytes/lookup (PCIe)", "roundtrips", "overflow %"}}
-	for _, dm := range []int{4, 8, 16, 32, 64, 0} {
+	dms := []int{4, 8, 16, 32, 64, 0}
+	type sample struct {
+		bytesPer, rtsPer, overflow float64
+	}
+	samples := runCells(opt, len(dms), func(i int, o Options) sample {
+		dm := dms[i]
 		cfg := robinhood.DefaultConfig(slots)
 		cfg.MaxDisplacement = dm
 		cfg.InlineValueSize = 64
 		host := robinhood.New(cfg)
-		rng := rand.New(rand.NewSource(opt.Seed))
+		rng := rand.New(rand.NewSource(o.Seed))
 		keys := make([]uint64, n)
 		for i := range keys {
 			keys[i] = rng.Uint64()
@@ -119,14 +133,22 @@ func runAblateDm(opt Options) *Report {
 				}
 			}
 		}
+		return sample{
+			bytesPer: float64(bytes) / float64(n),
+			rtsPer:   float64(rts) / float64(n),
+			overflow: 100 * float64(host.Stats().Overflows) / float64(n),
+		}
+	})
+	for i, dm := range dms {
+		s := samples[i]
 		label := fmt.Sprintf("%d", dm)
 		if dm == 0 {
 			label = "none"
 		}
-		r.AddRow(label,
-			fmt.Sprintf("%.0f", float64(bytes)/float64(n)),
-			fmt.Sprintf("%.3f", float64(rts)/float64(n)),
-			fmt.Sprintf("%.2f%%", 100*float64(host.Stats().Overflows)/float64(n)))
+		r.AddCells(Text(label),
+			Num(s.bytesPer, fmt.Sprintf("%.0f", s.bytesPer)),
+			Num(s.rtsPer, fmt.Sprintf("%.3f", s.rtsPer)),
+			Num(s.overflow, fmt.Sprintf("%.2f%%", s.overflow)))
 	}
 	r.AddNote("small Dm trades probe bytes for overflow roundtrips; the paper picks Dm in the 8-32 range (Table 2)")
 	return r
@@ -139,11 +161,16 @@ func runAblateK(opt Options) *Report {
 	}
 	r := &Report{ID: "ablate-k", Title: "Hint slack under concurrent insertions",
 		Header: []string{"k", "second-read rate", "objects/lookup"}}
-	for _, k := range []int{0, 1, 2, 4} {
+	ks := []int{0, 1, 2, 4}
+	type sample struct {
+		rate, objsPer float64
+	}
+	samples := runCells(opt, len(ks), func(i int, o Options) sample {
+		k := ks[i]
 		cfg := robinhood.DefaultConfig(slots)
 		cfg.MaxDisplacement = 32
 		host := robinhood.New(cfg)
-		rng := rand.New(rand.NewSource(opt.Seed))
+		rng := rand.New(rand.NewSource(o.Seed))
 		// Load to 85%, sync hints, then interleave inserts (which go
 		// stale-ify hints) with lookups.
 		base := slots * 85 / 100
@@ -183,9 +210,13 @@ func runAblateK(opt Options) *Report {
 		if st.DMALookups > 0 {
 			rate = float64(st.SecondReads) / float64(st.DMALookups)
 		}
-		r.AddRow(fmt.Sprintf("%d", k),
-			fmt.Sprintf("%.3f%%", 100*rate),
-			fmt.Sprintf("%.2f", float64(objs)/float64(lookups)))
+		return sample{rate: 100 * rate, objsPer: float64(objs) / float64(lookups)}
+	})
+	for i, k := range ks {
+		s := samples[i]
+		r.AddCells(Count(k),
+			Num(s.rate, fmt.Sprintf("%.3f%%", s.rate)),
+			Num(s.objsPer, fmt.Sprintf("%.2f", s.objsPer)))
 	}
 	r.AddNote("k=0 pays frequent second reads when insertions raise displacements; k>=2 reads extra objects on every lookup — k=1 balances (§4.1.3)")
 	return r

@@ -34,26 +34,43 @@ func runChaos(opt Options) *Report {
 	r := &Report{ID: "chaos", Title: fmt.Sprintf("%d random fault plans, %d-node clusters", plans, nodes),
 		Header: []string{"plan", "faults", "committed", "aborts", "drops", "drained", "result"}}
 
+	type outcome struct {
+		plan                     *fault.Plan
+		committed, aborts, drops int64
+		drained                  bool
+		err                      error
+	}
+	// Cells 0..plans-1 are the sweep; the last two are the determinism
+	// spot-check pair (the first plan re-run twice with the same seed).
+	outcomes := runCells(opt, plans+2, func(i int, o Options) outcome {
+		seed := o.Seed
+		if i < plans {
+			seed += int64(i)
+		}
+		plan := fault.RandomPlan(seed, nodes)
+		var out outcome
+		out.plan = plan
+		out.committed, out.aborts, out.drops, out.drained, out.err = chaosRun(seed, plan, runFor)
+		return out
+	})
+
 	fails := 0
 	for i := 0; i < plans; i++ {
-		seed := opt.Seed + int64(i)
-		plan := fault.RandomPlan(seed, nodes)
-		committed, aborts, drops, drained, err := chaosRun(seed, plan, runFor)
+		out := outcomes[i]
 		verdict := "ok"
-		if err != nil {
+		if out.err != nil {
 			fails++
-			verdict = err.Error()
+			verdict = out.err.Error()
 		}
-		r.AddRow(fmt.Sprintf("%d", i), plan.String(),
-			fmt.Sprintf("%d", committed), fmt.Sprintf("%d", aborts),
-			fmt.Sprintf("%d", drops), fmt.Sprintf("%v", drained), verdict)
+		r.AddRow(fmt.Sprintf("%d", i), out.plan.String(),
+			fmt.Sprintf("%d", out.committed), fmt.Sprintf("%d", out.aborts),
+			fmt.Sprintf("%d", out.drops), fmt.Sprintf("%v", out.drained), verdict)
 	}
 
 	// Determinism spot check: the first plan, re-run with the same seed,
 	// must reproduce identical outcome counters.
-	plan := fault.RandomPlan(opt.Seed, nodes)
-	c1, a1, d1, _, _ := chaosRun(opt.Seed, plan, runFor)
-	c2, a2, d2, _, _ := chaosRun(opt.Seed, plan, runFor)
+	c1, a1, d1 := outcomes[plans].committed, outcomes[plans].aborts, outcomes[plans].drops
+	c2, a2, d2 := outcomes[plans+1].committed, outcomes[plans+1].aborts, outcomes[plans+1].drops
 	if c1 != c2 || a1 != a2 || d1 != d2 {
 		fails++
 		r.AddNote("DETERMINISM VIOLATION: plan 0 re-run diverged (%d/%d/%d vs %d/%d/%d)",

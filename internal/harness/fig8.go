@@ -1,10 +1,7 @@
 package harness
 
 import (
-	"fmt"
-
 	"xenic/internal/baseline"
-	"xenic/internal/core"
 	"xenic/internal/sim"
 	"xenic/internal/txnmodel"
 	"xenic/internal/workload/retwis"
@@ -123,44 +120,6 @@ type point struct {
 	median sim.Time
 }
 
-func runXenicCurve(s workloadSetup, opt Options, windows []int, warm, win sim.Time) []point {
-	var out []point
-	for _, w := range windows {
-		cfg := core.DefaultConfig()
-		cfg.AppThreads = s.app
-		cfg.WorkerThreads = s.workers
-		cfg.NICCores = s.nic
-		cfg.Outstanding = perThread(w, s.app)
-		cfg.Seed = opt.Seed
-		cl, err := core.New(cfg, s.gen(opt.Quick))
-		if err != nil {
-			panic(err)
-		}
-		res := cl.Measure(warm, win)
-		opt.Stats.Snap(fmt.Sprintf("%s/xenic/w%d", s.name, w), cl.RegisterMetrics)
-		out = append(out, point{window: w, tput: res.PerServerTput, median: res.Median})
-	}
-	return out
-}
-
-func runBaselineCurve(sys baseline.System, s workloadSetup, opt Options, windows []int, warm, win sim.Time) []point {
-	var out []point
-	for _, w := range windows {
-		cfg := baseline.DefaultConfig(sys)
-		cfg.Threads = s.threads
-		cfg.Outstanding = perThread(w, s.threads)
-		cfg.Seed = opt.Seed
-		cl, err := baseline.New(cfg, s.gen(opt.Quick))
-		if err != nil {
-			panic(err)
-		}
-		res := cl.Measure(warm, win)
-		opt.Stats.Snap(fmt.Sprintf("%s/%s/w%d", s.name, sys, w), cl.RegisterMetrics)
-		out = append(out, point{window: w, tput: res.PerServerTput, median: res.Median})
-	}
-	return out
-}
-
 func peak(ps []point) float64 {
 	best := 0.0
 	for _, p := range ps {
@@ -195,18 +154,13 @@ func runFig8(opt Options, id string) *Report {
 	r := &Report{ID: id, Title: s.name + ": per-server throughput vs median latency",
 		Header: []string{"system", "window", "tput/server", "median"}}
 
+	specs := fig8Specs(s, opt)
+	series := runCurves(s, opt, specs, windows, warm, win)
 	curves := map[string][]point{}
-	xen := runXenicCurve(s, opt, windows, warm, win)
-	curves["Xenic"] = xen
-	for _, p := range xen {
-		r.AddRow("Xenic", fmt.Sprintf("%d", p.window), ktps(p.tput), us(p.median))
-	}
-	systems := []baseline.System{baseline.DrTMH, baseline.DrTMHNC, baseline.FaSST, baseline.DrTMR}
-	for _, sys := range systems {
-		ps := runBaselineCurve(sys, s, opt, windows, warm, win)
-		curves[sys.String()] = ps
-		for _, p := range ps {
-			r.AddRow(sys.String(), fmt.Sprintf("%d", p.window), ktps(p.tput), us(p.median))
+	for i, spec := range specs {
+		curves[spec.name] = series[i]
+		for _, p := range series[i] {
+			r.AddCells(Text(spec.name), Count(p.window), Tput(p.tput), Micros(p.median))
 		}
 	}
 
@@ -226,8 +180,12 @@ func runFig8(opt Options, id string) *Report {
 
 	if s.oneLink {
 		// §5.3: one 50Gbps link, compare Xenic against DrTM+R.
-		xe := runOneLinkXenic(s, opt, warm, win)
-		dr := runOneLinkDrTMR(s, opt, warm, win)
+		xe := runCurve(opt, []int{96}, warm, win,
+			func(int) string { return s.name + "/xenic/one-link" },
+			xenicBuilder(s, opt, true))[0].tput
+		dr := runCurve(opt, []int{96}, warm, win,
+			func(int) string { return s.name + "/DrTM+R/one-link" },
+			baselineBuilder(baseline.DrTMR, s, opt, true))[0].tput
 		ratio := 0.0
 		if dr > 0 {
 			ratio = xe / dr
@@ -272,34 +230,4 @@ func perThread(total, threads int) int {
 		v = 1
 	}
 	return v
-}
-
-func runOneLinkXenic(s workloadSetup, opt Options, warm, win sim.Time) float64 {
-	cfg := core.DefaultConfig()
-	cfg.Params = cfg.Params.OneLink()
-	cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = s.app, s.workers, s.nic
-	cfg.Outstanding = perThread(96, s.app)
-	cfg.Seed = opt.Seed
-	cl, err := core.New(cfg, s.gen(opt.Quick))
-	if err != nil {
-		panic(err)
-	}
-	res := cl.Measure(warm, win)
-	opt.Stats.Snap(s.name+"/xenic/one-link", cl.RegisterMetrics)
-	return res.PerServerTput
-}
-
-func runOneLinkDrTMR(s workloadSetup, opt Options, warm, win sim.Time) float64 {
-	cfg := baseline.DefaultConfig(baseline.DrTMR)
-	cfg.Params = cfg.Params.OneLink()
-	cfg.Threads = s.threads
-	cfg.Outstanding = perThread(96, s.threads)
-	cfg.Seed = opt.Seed
-	cl, err := baseline.New(cfg, s.gen(opt.Quick))
-	if err != nil {
-		panic(err)
-	}
-	res := cl.Measure(warm, win)
-	opt.Stats.Snap(s.name+"/DrTM+R/one-link", cl.RegisterMetrics)
-	return res.PerServerTput
 }

@@ -51,42 +51,51 @@ func runFig9a(opt Options) *Report {
 		window = 8
 	}
 
-	dcfg := baseline.DefaultConfig(baseline.DrTMH)
-	dcfg.Threads = s.threads
-	dcfg.Outstanding = window
-	dcfg.Seed = opt.Seed
-	dcl, err := baseline.New(dcfg, s.gen(opt.Quick))
-	if err != nil {
-		panic(err)
-	}
-	dres := dcl.Measure(warm, win)
-	opt.Stats.Snap("fig9a/DrTM+H", dcl.RegisterMetrics)
-	r.AddRow("DrTM+H", ktps(dres.PerServerTput), "-", "1.00x")
-
-	var base float64
-	for i, st := range steps {
+	// Cell 0 is the DrTM+H reference, cells 1..4 the feature steps.
+	results := runCells(opt, len(steps)+1, func(i int, o Options) Result {
+		if i == 0 {
+			dcfg := baseline.DefaultConfig(baseline.DrTMH)
+			dcfg.Threads = s.threads
+			dcfg.Outstanding = window
+			dcfg.Seed = o.Seed
+			dcl, err := baseline.New(dcfg, s.gen(o.Quick))
+			if err != nil {
+				panic(err)
+			}
+			res := dcl.Measure(warm, win)
+			o.Stats.Snap("fig9a/DrTM+H", dcl.RegisterMetrics)
+			return res
+		}
+		st := steps[i-1]
 		cfg := core.DefaultConfig()
 		cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = s.app, s.workers, s.nic
 		cfg.Outstanding = window
 		cfg.Features = st.feat
-		cfg.Seed = opt.Seed
-		cl, err := core.New(cfg, s.gen(opt.Quick))
+		cfg.Seed = o.Seed
+		cl, err := core.New(cfg, s.gen(o.Quick))
 		if err != nil {
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
-		opt.Stats.Snap("fig9a/"+st.name, cl.RegisterMetrics)
-		if i == 0 {
-			base = res.PerServerTput
-		}
-		vsBase, vsD := "-", "-"
+		o.Stats.Snap("fig9a/"+st.name, cl.RegisterMetrics)
+		return res
+	})
+
+	dres := results[0]
+	r.AddCells(Text("DrTM+H"), Tput(dres.PerServerTput), Text("-"), Text("1.00x"))
+	base := results[1].PerServerTput
+	for i, st := range steps {
+		res := results[i+1]
+		vsBase, vsD := Text("-"), Text("-")
 		if base > 0 {
-			vsBase = fmt.Sprintf("%.2fx", res.PerServerTput/base)
+			v := res.PerServerTput / base
+			vsBase = Num(v, fmt.Sprintf("%.2fx", v))
 		}
 		if dres.PerServerTput > 0 {
-			vsD = fmt.Sprintf("%.2fx", res.PerServerTput/dres.PerServerTput)
+			v := res.PerServerTput / dres.PerServerTput
+			vsD = Num(v, fmt.Sprintf("%.2fx", v))
 		}
-		r.AddRow(st.name, ktps(res.PerServerTput), vsBase, vsD)
+		r.AddCells(Text(st.name), Tput(res.PerServerTput), vsBase, vsD)
 	}
 	r.AddNote("paper: 1.00x -> 1.47x -> 1.98x -> 2.30x over baseline; final = 2.07x DrTM+H")
 	return r
@@ -116,42 +125,51 @@ func runFig9b(opt Options) *Report {
 		})},
 	}
 
-	dcfg := baseline.DefaultConfig(baseline.DrTMH)
-	dcfg.Threads = s.threads
-	dcfg.Outstanding = 1 // low load
-	dcfg.Seed = opt.Seed
-	dcl, err := baseline.New(dcfg, s.gen(opt.Quick))
-	if err != nil {
-		panic(err)
-	}
-	dres := dcl.Measure(warm, win)
-	opt.Stats.Snap("fig9b/DrTM+H", dcl.RegisterMetrics)
-	r.AddRow("DrTM+H", us(dres.Median), "-", "1.00x")
-
-	var base sim.Time
-	for i, st := range steps {
+	// Cell 0 is the DrTM+H reference, cells 1..4 the feature steps.
+	results := runCells(opt, len(steps)+1, func(i int, o Options) Result {
+		if i == 0 {
+			dcfg := baseline.DefaultConfig(baseline.DrTMH)
+			dcfg.Threads = s.threads
+			dcfg.Outstanding = 1 // low load
+			dcfg.Seed = o.Seed
+			dcl, err := baseline.New(dcfg, s.gen(o.Quick))
+			if err != nil {
+				panic(err)
+			}
+			res := dcl.Measure(warm, win)
+			o.Stats.Snap("fig9b/DrTM+H", dcl.RegisterMetrics)
+			return res
+		}
+		st := steps[i-1]
 		cfg := core.DefaultConfig()
 		cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = s.app, s.workers, s.nic
 		cfg.Outstanding = 1
 		cfg.Features = st.feat
-		cfg.Seed = opt.Seed
-		cl, err := core.New(cfg, s.gen(opt.Quick))
+		cfg.Seed = o.Seed
+		cl, err := core.New(cfg, s.gen(o.Quick))
 		if err != nil {
 			panic(err)
 		}
 		res := cl.Measure(warm, win)
-		opt.Stats.Snap("fig9b/"+st.name, cl.RegisterMetrics)
-		if i == 0 {
-			base = res.Median
-		}
-		vsBase, vsD := "-", "-"
+		o.Stats.Snap("fig9b/"+st.name, cl.RegisterMetrics)
+		return res
+	})
+
+	dres := results[0]
+	r.AddCells(Text("DrTM+H"), Micros(dres.Median), Text("-"), Text("1.00x"))
+	base := results[1].Median
+	for i, st := range steps {
+		res := results[i+1]
+		vsBase, vsD := Text("-"), Text("-")
 		if base > 0 {
-			vsBase = fmt.Sprintf("%.0f%%", 100*(1-res.Median.Seconds()/base.Seconds()))
+			v := 100 * (1 - res.Median.Seconds()/base.Seconds())
+			vsBase = Num(v, fmt.Sprintf("%.0f%%", v))
 		}
 		if dres.Median > 0 {
-			vsD = fmt.Sprintf("%.2fx", res.Median.Seconds()/dres.Median.Seconds())
+			v := res.Median.Seconds() / dres.Median.Seconds()
+			vsD = Num(v, fmt.Sprintf("%.2fx", v))
 		}
-		r.AddRow(st.name, us(res.Median), vsBase, vsD)
+		r.AddCells(Text(st.name), Micros(res.Median), vsBase, vsD)
 	}
 	r.AddNote("paper: baseline 1.37x DrTM+H; -20%%, -32%%, -42%% vs baseline; final 0.78x DrTM+H")
 	return r

@@ -21,6 +21,11 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds how many experiment cells run concurrently (<=1 means
+	// serial). Each cell owns a private sim.Engine, so parallelism changes
+	// wall-clock only, never a reported number: results and stats snapshots
+	// are merged in cell order regardless of completion order.
+	Workers int
 	// Stats, when non-nil, collects a stats-registry snapshot from every
 	// cluster the experiment measures (cmd/xenic-bench -stats).
 	Stats *StatsCollector
@@ -29,12 +34,32 @@ type Options struct {
 // StatsCollector accumulates one stats-registry snapshot per cluster run.
 // Attach one via Options.Stats to have every figure/table run record its
 // metrics; cmd/xenic-bench -stats writes the union as one JSON document.
+// A collector is not safe for concurrent use: parallel cells each record
+// into a private collector that the pool merges in cell order.
 type StatsCollector struct {
 	Snaps map[string]any
+	// labels records each snapshot's original (pre-dedup) label in insertion
+	// order, so merging collectors re-runs deduplication deterministically.
+	labels []string
+	keys   []string
 }
 
 // NewStatsCollector returns an empty collector.
 func NewStatsCollector() *StatsCollector { return &StatsCollector{Snaps: map[string]any{}} }
+
+// add stores snap under label, suffixing "#N" on duplicates.
+func (c *StatsCollector) add(label string, snap any) {
+	key := label
+	for i := 2; ; i++ {
+		if _, dup := c.Snaps[key]; !dup {
+			break
+		}
+		key = fmt.Sprintf("%s#%d", label, i)
+	}
+	c.Snaps[key] = snap
+	c.labels = append(c.labels, label)
+	c.keys = append(c.keys, key)
+}
 
 // Snap builds a fresh registry for a just-measured cluster via register and
 // stores its snapshot under label. A nil collector ignores the call, so
@@ -46,18 +71,53 @@ func (c *StatsCollector) Snap(label string, register func(*metrics.Registry)) {
 	}
 	reg := metrics.NewRegistry()
 	register(reg)
-	key := label
-	for i := 2; ; i++ {
-		if _, dup := c.Snaps[key]; !dup {
-			break
-		}
-		key = fmt.Sprintf("%s#%d", label, i)
+	c.add(label, reg.Snapshot())
+}
+
+// merge appends every snapshot of sub, in sub's insertion order, re-running
+// duplicate-label resolution against c's contents.
+func (c *StatsCollector) merge(sub *StatsCollector) {
+	if c == nil || sub == nil {
+		return
 	}
-	c.Snaps[key] = reg.Snapshot()
+	for i, label := range sub.labels {
+		c.add(label, sub.Snaps[sub.keys[i]])
+	}
 }
 
 // DefaultOptions returns full-scale settings.
 func DefaultOptions() Options { return Options{Seed: 1} }
+
+// Cell is one machine-readable table cell: the rendered text plus, when the
+// cell carries a number, its typed value — so JSON consumers and tooling
+// (wallbench, regression gates) read values directly instead of re-parsing
+// fmt-formatted strings. Value is nil for purely textual cells; numeric
+// cells carry int64 (counts), float64 (rates; durations in microseconds).
+type Cell struct {
+	Text  string `json:"text"`
+	Value any    `json:"value,omitempty"`
+}
+
+// Typed-cell constructors mirroring the formatting helpers below, so the
+// rendered table is unchanged while the value rides alongside.
+
+// Text returns a text-only cell.
+func Text(s string) Cell { return Cell{Text: s} }
+
+// Count returns an integer cell rendered as %d.
+func Count(v int) Cell { return Cell{Text: fmt.Sprintf("%d", v), Value: int64(v)} }
+
+// Tput returns a throughput cell (txn/s) rendered like ktps.
+func Tput(v float64) Cell { return Cell{Text: ktps(v), Value: v} }
+
+// Micros returns a duration cell rendered like us, valued in microseconds.
+func Micros(t sim.Time) Cell { return Cell{Text: us(t), Value: t.Micros()} }
+
+// Mops returns a throughput cell (ops/s) rendered like mops.
+func Mops(v float64) Cell { return Cell{Text: mops(v), Value: v} }
+
+// Num returns a float cell with explicit rendering.
+func Num(v float64, text string) Cell { return Cell{Text: text, Value: v} }
 
 // Report is an experiment's output.
 type Report struct {
@@ -66,6 +126,10 @@ type Report struct {
 	// Header/Rows form the table printed for the experiment.
 	Header []string
 	Rows   [][]string
+	// Cells mirrors Rows with typed values alongside the rendered text
+	// (row- and column-aligned; rows appended via AddRow carry text-only
+	// cells).
+	Cells [][]Cell
 	// Notes carry paper-vs-measured commentary.
 	Notes []string
 	// Stats holds the per-run stats-registry snapshots collected through
@@ -74,7 +138,25 @@ type Report struct {
 }
 
 // AddRow appends a formatted row.
-func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+	typed := make([]Cell, len(cells))
+	for i, s := range cells {
+		typed[i] = Cell{Text: s}
+	}
+	r.Cells = append(r.Cells, typed)
+}
+
+// AddCells appends a row of typed cells; the rendered texts land in Rows so
+// printing is unchanged.
+func (r *Report) AddCells(cells ...Cell) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = c.Text
+	}
+	r.Rows = append(r.Rows, row)
+	r.Cells = append(r.Cells, cells)
+}
 
 // AddNote appends a commentary line.
 func (r *Report) AddNote(format string, args ...any) {

@@ -179,93 +179,89 @@ func runFig2(opt Options) *Report {
 		{"Write", opDMAWrite},
 		{"Host RPC", opHostRPC},
 	}
-	for _, o := range ops {
-		h := lioRTT(o.op, false, iters, opt.Seed)
-		n := lioRTT(o.op, true, iters, opt.Seed)
-		r.AddRow("LiquidIO", o.name, us(h), us(n))
+	// Eight LiquidIO cells (four ops x host/NIC source) plus the three CX5
+	// modes, as one flat pool.
+	lats := runCells(opt, 2*len(ops)+3, func(i int, o Options) sim.Time {
+		if i < 2*len(ops) {
+			return lioRTT(ops[i/2].op, i%2 == 1, iters, o.Seed)
+		}
+		return cx5RTT(i-2*len(ops), iters, o.Seed)
+	})
+	for i, o := range ops {
+		r.AddCells(Text("LiquidIO"), Text(o.name), Micros(lats[2*i]), Micros(lats[2*i+1]))
 	}
-
-	read, write, rpc := cx5RTT(iters, opt.Seed)
-	r.AddRow("CX5", "READ", us(read), "n/a")
-	r.AddRow("CX5", "WRITE", us(write), "n/a")
-	r.AddRow("CX5", "Host RPC", us(rpc), "n/a")
+	read, write, rpc := lats[2*len(ops)], lats[2*len(ops)+1], lats[2*len(ops)+2]
+	r.AddCells(Text("CX5"), Text("READ"), Micros(read), Text("n/a"))
+	r.AddCells(Text("CX5"), Text("WRITE"), Micros(write), Text("n/a"))
+	r.AddCells(Text("CX5"), Text("Host RPC"), Micros(rpc), Text("n/a"))
 	r.AddNote("paper: CX5 WRITE ~3.5us median; LiquidIO NIC-sourced ops beat two-sided RDMA RPCs (§3.2)")
 	return r
 }
 
-// cx5RTT measures RDMA READ/WRITE and two-sided RPC roundtrips.
-func cx5RTT(iters int, seed int64) (read, write, rpc sim.Time) {
-	for mode := 0; mode < 3; mode++ {
-		eng := sim.NewEngine(seed)
-		p := model.Default()
-		nw := simnet.New(eng, p, 2)
-		h0 := hostrt.New(eng, p, 0, 1, seed)
-		h1 := hostrt.New(eng, p, 1, 1, seed)
-		n0 := rdma.New(eng, p, nw, 0, h0)
-		n1 := rdma.New(eng, p, nw, 1, h1)
-		hist := metrics.NewHistogram()
-		var start sim.Time
-		done := 0
-		var issue func(t *hostrt.Thread)
-		finish := func(t *hostrt.Thread) {
-			hist.Record(t.Now() - start)
-			done++
-			if done < iters {
-				issue(t)
-			}
-		}
-		issue = func(t *hostrt.Thread) {
-			start = t.Now()
-			switch mode {
-			case 0:
-				n0.Read(t, 1, 256, nil, func() { finish(t) })
-			case 1:
-				n0.Write(t, 1, 256, nil, func() { finish(t) })
-			case 2:
-				n0.Send(t, 1, &wire.Execute{Header: wire.Header{TxnID: uint64(done), Src: 0}})
-			}
-		}
-		h1.OnMessage(func(t *hostrt.Thread, from int, m wire.Msg) {
-			if c, ok := m.(*rdma.Completion); ok {
-				c.Fn()
-				return
-			}
-			t.Charge(p.HostRPCHandle)
-			n1.Send(t, 0, &wire.ExecuteResp{Header: wire.Header{TxnID: 0, Src: 1}})
-		})
-		h1.OnIdle(func(t *hostrt.Thread) bool { return false })
-		h1.OnTransmit(func(t *hostrt.Thread, ms []wire.Msg) {})
-		h0.OnMessage(func(t *hostrt.Thread, from int, m wire.Msg) {
-			if c, ok := m.(*rdma.Completion); ok {
-				c.Fn()
-				return
-			}
-			if _, ok := m.(*wire.ExecuteResp); ok {
-				finish(t)
-			}
-		})
-		h0.OnTransmit(func(t *hostrt.Thread, ms []wire.Msg) {})
-		started := false
-		h0.OnIdle(func(t *hostrt.Thread) bool {
-			if started {
-				return false
-			}
-			started = true
+// cx5RTT measures one RDMA roundtrip mode: 0 = READ, 1 = WRITE, 2 =
+// two-sided RPC.
+func cx5RTT(mode, iters int, seed int64) sim.Time {
+	eng := sim.NewEngine(seed)
+	p := model.Default()
+	nw := simnet.New(eng, p, 2)
+	h0 := hostrt.New(eng, p, 0, 1, seed)
+	h1 := hostrt.New(eng, p, 1, 1, seed)
+	n0 := rdma.New(eng, p, nw, 0, h0)
+	n1 := rdma.New(eng, p, nw, 1, h1)
+	hist := metrics.NewHistogram()
+	var start sim.Time
+	done := 0
+	var issue func(t *hostrt.Thread)
+	finish := func(t *hostrt.Thread) {
+		hist.Record(t.Now() - start)
+		done++
+		if done < iters {
 			issue(t)
-			return true
-		})
-		h0.WakeAll()
-		eng.Run(sim.Second)
-		switch mode {
-		case 0:
-			read = hist.Median()
-		case 1:
-			write = hist.Median()
-		case 2:
-			rpc = hist.Median()
 		}
 	}
-	return
+	issue = func(t *hostrt.Thread) {
+		start = t.Now()
+		switch mode {
+		case 0:
+			n0.Read(t, 1, 256, nil, func() { finish(t) })
+		case 1:
+			n0.Write(t, 1, 256, nil, func() { finish(t) })
+		case 2:
+			n0.Send(t, 1, &wire.Execute{Header: wire.Header{TxnID: uint64(done), Src: 0}})
+		}
+	}
+	h1.OnMessage(func(t *hostrt.Thread, from int, m wire.Msg) {
+		if c, ok := m.(*rdma.Completion); ok {
+			c.Fn()
+			return
+		}
+		t.Charge(p.HostRPCHandle)
+		n1.Send(t, 0, &wire.ExecuteResp{Header: wire.Header{TxnID: 0, Src: 1}})
+	})
+	h1.OnIdle(func(t *hostrt.Thread) bool { return false })
+	h1.OnTransmit(func(t *hostrt.Thread, ms []wire.Msg) {})
+	h0.OnMessage(func(t *hostrt.Thread, from int, m wire.Msg) {
+		if c, ok := m.(*rdma.Completion); ok {
+			c.Fn()
+			return
+		}
+		if _, ok := m.(*wire.ExecuteResp); ok {
+			finish(t)
+		}
+	})
+	h0.OnTransmit(func(t *hostrt.Thread, ms []wire.Msg) {})
+	started := false
+	h0.OnIdle(func(t *hostrt.Thread) bool {
+		if started {
+			return false
+		}
+		started = true
+		issue(t)
+		return true
+	})
+	h0.WakeAll()
+	eng.Run(sim.Second)
+	return hist.Median()
 }
 
 // runFig3 sweeps remote write throughput across buffer sizes.
@@ -279,13 +275,28 @@ func runFig3(opt Options) *Report {
 	r := &Report{ID: "fig3", Title: "Remote write throughput [ops/s]",
 		Header: []string{"size", "LIO batched NIC-mem", "LIO single NIC-mem",
 			"LIO batched host-mem", "LIO single host-mem", "CX5 RDMA"}}
-	for _, sz := range sizes {
-		bn := lioWriteTput(sz, true, false, window, opt.Seed)
-		sn := lioWriteTput(sz, false, false, window, opt.Seed)
-		bh := lioWriteTput(sz, true, true, window, opt.Seed)
-		sh := lioWriteTput(sz, false, true, window, opt.Seed)
-		cx := cx5WriteTput(sz, window, opt.Seed)
-		r.AddRow(fmt.Sprintf("%dB", sz), mops(bn), mops(sn), mops(bh), mops(sh), mops(cx))
+	// Five measurements per size — the four LiquidIO batched/memory
+	// combinations plus CX5 — as one flat pool, size-major.
+	const kinds = 5
+	tputs := runCells(opt, len(sizes)*kinds, func(i int, o Options) float64 {
+		sz := sizes[i/kinds]
+		switch i % kinds {
+		case 0:
+			return lioWriteTput(sz, true, false, window, o.Seed)
+		case 1:
+			return lioWriteTput(sz, false, false, window, o.Seed)
+		case 2:
+			return lioWriteTput(sz, true, true, window, o.Seed)
+		case 3:
+			return lioWriteTput(sz, false, true, window, o.Seed)
+		default:
+			return cx5WriteTput(sz, window, o.Seed)
+		}
+	})
+	for i, sz := range sizes {
+		t := tputs[i*kinds : (i+1)*kinds]
+		r.AddCells(Text(fmt.Sprintf("%dB", sz)),
+			Mops(t[0]), Mops(t[1]), Mops(t[2]), Mops(t[3]), Mops(t[4]))
 	}
 	r.AddNote("paper: single ~9.0-10.4M flat; batched NIC-mem scales to wire bandwidth; batched host-mem DMA-bound below 64B; CX5 13.5-15M flat")
 	return r
@@ -419,11 +430,13 @@ func runFig4(opt Options) *Report {
 	r := &Report{ID: "fig4", Title: "DMA engine throughput and latency",
 		Header: []string{"size", "tput x1", "tput x15", "write lat", "read lat"}}
 	p := model.Default()
-	for _, sz := range sizes {
-		t1 := dmaTput(sz, 1, window, opt.Seed)
-		t15 := dmaTput(sz, 15, window, opt.Seed)
-		r.AddRow(fmt.Sprintf("%dB", sz), mops(t1), mops(t15),
-			us(p.DMAWriteLatency), us(p.DMAReadLatency))
+	elems := []int{1, 15}
+	tputs := runCells(opt, len(sizes)*len(elems), func(i int, o Options) float64 {
+		return dmaTput(sizes[i/2], elems[i%2], window, o.Seed)
+	})
+	for i, sz := range sizes {
+		r.AddCells(Text(fmt.Sprintf("%dB", sz)), Mops(tputs[2*i]), Mops(tputs[2*i+1]),
+			Micros(p.DMAWriteLatency), Micros(p.DMAReadLatency))
 	}
 	r.AddNote("paper: vectored submission reaches the 8.7M submissions/s hardware max; full vectors do not lengthen completion latency (§3.5)")
 	return r

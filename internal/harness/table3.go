@@ -40,66 +40,80 @@ func runTable3(opt Options) *Report {
 		Header: []string{"benchmark", "Xenic norm (host,NIC)", "DrTM+H", "FaSST", "paper"}}
 	ratio := cpubench.CoremarkRatio()
 
-	for _, id := range benches {
+	// Each benchmark contributes three pool cells — the Xenic host/NIC
+	// shrink and the two baseline shrinks — which are independent searches.
+	// Within a cell the shrink stays sequential: every measurement depends
+	// on the previous minimum.
+	type search struct {
+		host, nic int // Xenic cells
+		min       int // baseline cells
+	}
+	cells := runCells(opt, len(benches)*3, func(ci int, o Options) search {
+		id := benches[ci/3]
 		s := setupFor(id)
 		// Constant offered load per node across thread counts, so the
 		// search finds the CPU-bound point rather than the load the
 		// removed threads were generating.
 		const nodeWindow = 128
 
-		// Xenic: measure peak at generous resourcing, then shrink host
-		// threads and NIC cores independently.
-		measure := func(host, nic int) float64 {
-			app, workers := splitHost(id, host)
-			cfg := core.DefaultConfig()
-			cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = app, workers, nic
-			cfg.Outstanding = perThread(nodeWindow, app)
-			cfg.Seed = opt.Seed
-			cl, err := core.New(cfg, s.gen(opt.Quick))
-			if err != nil {
-				panic(err)
-			}
-			res := cl.Measure(warm, win)
-			opt.Stats.Snap(fmt.Sprintf("table3/%s/xenic/h%d-n%d", names[id], host, nic), cl.RegisterMetrics)
-			return res.PerServerTput
-		}
-		maxHost, maxNIC := 24, 24
-		if opt.Quick {
-			maxHost, maxNIC = 12, 12
-		}
-		peak := measure(maxHost, maxNIC)
-		hostMin := shrink(maxHost, peak, func(h int) float64 { return measure(h, maxNIC) })
-		nicMin := shrink(maxNIC, peak, func(n int) float64 { return measure(hostMin, n) })
-		norm := metrics.NormalizedThreads(hostMin, nicMin, ratio)
-
-		// Baselines: shrink the symmetric host thread count.
-		bmin := func(sys baseline.System) int {
-			measureB := func(th int) float64 {
-				cfg := baseline.DefaultConfig(sys)
-				cfg.Threads = th
-				cfg.Outstanding = perThread(nodeWindow, th)
-				cfg.Seed = opt.Seed
-				cl, err := baseline.New(cfg, s.gen(opt.Quick))
+		if ci%3 == 0 {
+			// Xenic: measure peak at generous resourcing, then shrink host
+			// threads and NIC cores independently.
+			measure := func(host, nic int) float64 {
+				app, workers := splitHost(id, host)
+				cfg := core.DefaultConfig()
+				cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = app, workers, nic
+				cfg.Outstanding = perThread(nodeWindow, app)
+				cfg.Seed = o.Seed
+				cl, err := core.New(cfg, s.gen(o.Quick))
 				if err != nil {
 					panic(err)
 				}
 				res := cl.Measure(warm, win)
-				opt.Stats.Snap(fmt.Sprintf("table3/%s/%s/t%d", names[id], sys, th), cl.RegisterMetrics)
+				o.Stats.Snap(fmt.Sprintf("table3/%s/xenic/h%d-n%d", names[id], host, nic), cl.RegisterMetrics)
 				return res.PerServerTput
 			}
-			maxTh := 32
-			if opt.Quick {
-				maxTh = 12
+			maxHost, maxNIC := 24, 24
+			if o.Quick {
+				maxHost, maxNIC = 12, 12
 			}
-			p := measureB(maxTh)
-			return shrink(maxTh, p, measureB)
+			peak := measure(maxHost, maxNIC)
+			hostMin := shrink(maxHost, peak, func(h int) float64 { return measure(h, maxNIC) })
+			nicMin := shrink(maxNIC, peak, func(n int) float64 { return measure(hostMin, n) })
+			return search{host: hostMin, nic: nicMin}
 		}
-		dr := bmin(baseline.DrTMH)
-		fa := bmin(baseline.FaSST)
 
-		r.AddRow(names[id],
-			fmt.Sprintf("%.1f (%d,%d)", norm, hostMin, nicMin),
-			fmt.Sprintf("%d", dr), fmt.Sprintf("%d", fa), paper[id])
+		// Baselines: shrink the symmetric host thread count.
+		sys := baseline.DrTMH
+		if ci%3 == 2 {
+			sys = baseline.FaSST
+		}
+		measureB := func(th int) float64 {
+			cfg := baseline.DefaultConfig(sys)
+			cfg.Threads = th
+			cfg.Outstanding = perThread(nodeWindow, th)
+			cfg.Seed = o.Seed
+			cl, err := baseline.New(cfg, s.gen(o.Quick))
+			if err != nil {
+				panic(err)
+			}
+			res := cl.Measure(warm, win)
+			o.Stats.Snap(fmt.Sprintf("table3/%s/%s/t%d", names[id], sys, th), cl.RegisterMetrics)
+			return res.PerServerTput
+		}
+		maxTh := 32
+		if o.Quick {
+			maxTh = 12
+		}
+		return search{min: shrink(maxTh, measureB(maxTh), measureB)}
+	})
+
+	for bi, id := range benches {
+		x := cells[bi*3]
+		norm := metrics.NormalizedThreads(x.host, x.nic, ratio)
+		r.AddCells(Text(names[id]),
+			Num(norm, fmt.Sprintf("%.1f (%d,%d)", norm, x.host, x.nic)),
+			Count(cells[bi*3+1].min), Count(cells[bi*3+2].min), Text(paper[id]))
 	}
 	r.AddNote("NIC threads weighted by the %.2fx Coremark ratio (§5.6)", ratio)
 	return r

@@ -119,22 +119,43 @@ func runTable2(opt Options) *Report {
 	r := &Report{ID: "table2", Title: fmt.Sprintf("Lookups over %d uniform keys at 90%% occupancy", n),
 		Header: []string{"structure", "objects read", "roundtrips", "paper objs", "paper rts"}}
 
+	// One pool cell per structure: four Robinhood displacement limits,
+	// Hopscotch, three chained-bucket sizes.
+	dms := []int{8, 16, 32, 0}
+	chainedBs := []int{4, 8, 16}
+	type lookup struct{ objs, rts float64 }
+	res := runCells(opt, len(dms)+1+len(chainedBs), func(i int, o Options) lookup {
+		var s lookup
+		switch {
+		case i < len(dms):
+			s.objs, s.rts = table2Xenic(slots, dms[i], n, o.Seed)
+		case i == len(dms):
+			s.objs, s.rts = table2Hopscotch(slots, 8, n, o.Seed)
+		default:
+			s.objs, s.rts = table2Chained(slots, chainedBs[i-len(dms)-1], n, o.Seed)
+		}
+		return s
+	})
+
+	cellPair := func(s lookup) (Cell, Cell) {
+		return Num(s.objs, fm(s.objs, "%.2f")), Num(s.rts, fm(s.rts, "%.3f"))
+	}
 	paper := [][2]string{{"3.43", "1.07"}, {"4.13", "1.04"}, {"4.84", "1.02"}, {"6.39", "1"}}
-	for i, dm := range []int{8, 16, 32, 0} {
-		objs, rts := table2Xenic(slots, dm, n, opt.Seed)
+	for i, dm := range dms {
 		label := fmt.Sprintf("Xenic Robinhood, Dm=%d", dm)
 		if dm == 0 {
 			label = "Xenic Robinhood, no limit"
 		}
-		r.AddRow(label, fm(objs, "%.2f"), fm(rts, "%.3f"), paper[i][0], paper[i][1])
+		objs, rts := cellPair(res[i])
+		r.AddCells(Text(label), objs, rts, Text(paper[i][0]), Text(paper[i][1]))
 	}
-	objs, rts := table2Hopscotch(slots, 8, n, opt.Seed)
-	r.AddRow("FaRM Hopscotch, H=8", fm(objs, "%.2f"), fm(rts, "%.3f"), ">8", "1.04")
+	objs, rts := cellPair(res[len(dms)])
+	r.AddCells(Text("FaRM Hopscotch, H=8"), objs, rts, Text(">8"), Text("1.04"))
 	paperC := [][2]string{{"4.65", "1.16"}, {"8.81", "1.10"}, {"16.96", "1.06"}}
-	for i, b := range []int{4, 8, 16} {
-		objs, rts := table2Chained(slots, b, n, opt.Seed)
-		r.AddRow(fmt.Sprintf("DrTM+H Chained, B=%d", b), fm(objs, "%.2f"), fm(rts, "%.3f"),
-			paperC[i][0], paperC[i][1])
+	for i, b := range chainedBs {
+		objs, rts := cellPair(res[len(dms)+1+i])
+		r.AddCells(Text(fmt.Sprintf("DrTM+H Chained, B=%d", b)), objs, rts,
+			Text(paperC[i][0]), Text(paperC[i][1]))
 	}
 	r.AddNote("Xenic rows read ~1 object more than the paper: our reads cover d_i+k+1 slots (conservative staleness slack); orderings and the <H=8 property hold")
 	return r

@@ -1,0 +1,14 @@
+//go:build linux
+
+package wallbench
+
+import "syscall"
+
+// peakRSS returns the process's maximum resident set size in bytes.
+func peakRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024 // the kernel reports kilobytes
+}

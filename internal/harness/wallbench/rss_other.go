@@ -1,0 +1,6 @@
+//go:build !linux
+
+package wallbench
+
+// peakRSS is only implemented on Linux; elsewhere the field stays zero.
+func peakRSS() int64 { return 0 }

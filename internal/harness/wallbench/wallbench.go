@@ -1,0 +1,179 @@
+// Package wallbench measures the harness itself rather than the simulated
+// hardware: wall-clock time and cell throughput of a quick experiment
+// sweep, peak RSS, and the per-op cost and allocation counts of the engine
+// hot paths (event scheduling, frame delivery, DMA completion).
+// cmd/xenic-bench -wallbench writes the result as BENCH_harness.json; CI
+// compares a fresh run against the committed baseline and fails on
+// regression.
+package wallbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"xenic/internal/harness"
+	"xenic/internal/model"
+	"xenic/internal/pcie"
+	"xenic/internal/sim"
+	"xenic/internal/simnet"
+)
+
+// EngineBench is one engine hot-path benchmark result.
+type EngineBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Result is the BENCH_harness.json document.
+type Result struct {
+	Experiments []string `json:"experiments"`
+	Workers     int      `json:"workers"`
+	Seed        int64    `json:"seed"`
+	Quick       bool     `json:"quick"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	Cells        int64   `json:"cells"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+
+	Engine []EngineBench `json:"engine"`
+}
+
+// DefaultSweep is the experiment set timed by default: small enough for CI,
+// broad enough to exercise the cluster, microbench, and store paths.
+func DefaultSweep() []string { return []string{"fig2", "fig4", "table2"} }
+
+// Run times a sweep of the named experiments under opt and collects the
+// engine hot-path benchmarks.
+func Run(opt harness.Options, ids []string) (*Result, error) {
+	res := &Result{
+		Experiments: ids,
+		Workers:     opt.Workers,
+		Seed:        opt.Seed,
+		Quick:       opt.Quick,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	exps := make([]*harness.Experiment, 0, len(ids))
+	for _, id := range ids {
+		e, ok := harness.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("wallbench: unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	cells0 := harness.CellsRun()
+	start := time.Now()
+	for _, e := range exps {
+		e.Run(opt)
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.Cells = harness.CellsRun() - cells0
+	if res.WallSeconds > 0 {
+		res.CellsPerSec = float64(res.Cells) / res.WallSeconds
+	}
+	res.PeakRSSBytes = peakRSS()
+	res.Engine = engineBenches()
+	return res, nil
+}
+
+// Check compares a fresh result against the committed baseline at path.
+// It returns an error when cells/sec fell more than frac below the
+// baseline, or when an engine hot path allocates more per op than the
+// baseline recorded (the alloc gate is exact: the hot paths are
+// allocation-free and must stay that way).
+func Check(res *Result, path string, frac float64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Result
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("wallbench: parse baseline %s: %w", path, err)
+	}
+	if base.CellsPerSec > 0 {
+		floor := base.CellsPerSec * (1 - frac)
+		if res.CellsPerSec < floor {
+			return fmt.Errorf("wallbench: cells/sec regressed: %.2f < floor %.2f (baseline %.2f - %.0f%%)",
+				res.CellsPerSec, floor, base.CellsPerSec, 100*frac)
+		}
+	}
+	baseAllocs := map[string]int64{}
+	for _, e := range base.Engine {
+		baseAllocs[e.Name] = e.AllocsPerOp
+	}
+	for _, e := range res.Engine {
+		if want, ok := baseAllocs[e.Name]; ok && e.AllocsPerOp > want {
+			return fmt.Errorf("wallbench: %s allocates %d/op, baseline %d/op", e.Name, e.AllocsPerOp, want)
+		}
+	}
+	return nil
+}
+
+// engineBenches runs the hot-path microbenchmarks. They mirror the
+// Benchmark* functions in the sim, simnet, and pcie packages' test files,
+// so the committed BENCH_harness.json tracks the same numbers `go test
+// -bench` reports.
+func engineBenches() []EngineBench {
+	return []EngineBench{
+		runBench("sim/schedule", benchSchedule),
+		runBench("simnet/frame-delivery", benchFrameDelivery),
+		runBench("pcie/dma-completion", benchDMACompletion),
+	}
+}
+
+func runBench(name string, fn func(b *testing.B)) EngineBench {
+	r := testing.Benchmark(fn)
+	out := EngineBench{Name: name, AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp()}
+	if r.N > 0 {
+		out.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	return out
+}
+
+// benchSchedule: one event scheduled and dispatched per op.
+func benchSchedule(b *testing.B) {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, fn)
+		e.Step()
+	}
+}
+
+// benchFrameDelivery: one frame's full life cycle per op — NewFrame, Send,
+// delivery, Recycle.
+func benchFrameDelivery(b *testing.B) {
+	eng := sim.NewEngine(1)
+	nw := simnet.New(eng, model.Default(), 2)
+	nw.Attach(0, func(f *simnet.Frame) {})
+	nw.Attach(1, func(f *simnet.Frame) { nw.Recycle(f) })
+	msg := struct{ x int }{42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := nw.NewFrame()
+		f.Src, f.Dst, f.PayloadBytes, f.Flow = 0, 1, 256, 7
+		f.Msgs = append(f.Msgs, &msg)
+		nw.Send(f)
+		eng.RunAll()
+	}
+}
+
+// benchDMACompletion: one vector submission plus completion dispatch per
+// op, with the vector reused as the NIC runtime's freelists do.
+func benchDMACompletion(b *testing.B) {
+	eng := sim.NewEngine(1)
+	d := pcie.New(eng, model.Default())
+	v := &pcie.Vector{Write: true, Sizes: []int{64, 128, 256, 512}, Complete: func() {}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(0, v)
+		eng.RunAll()
+	}
+}

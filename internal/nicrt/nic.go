@@ -64,6 +64,10 @@ type NIC struct {
 	handler     Handler
 	hostDeliver func(ms []wire.Msg)
 
+	// sendFn hands a frame to the fabric (the At1 target for frame
+	// transmission, bound once so flushes schedule without closures).
+	sendFn func(any)
+
 	util  *metrics.Utilization
 	stats Stats
 	tr    *trace.Tracer
@@ -97,9 +101,13 @@ func New(eng *sim.Engine, p model.Params, nw *simnet.Network, node, ncores int, 
 		c.poller.SetOnBusy(func(d sim.Time) { n.util.Add(i, d) })
 		n.cores = append(n.cores, c)
 	}
+	n.sendFn = n.sendFrame
 	nw.Attach(node, n.dispatchFrame)
 	return n
 }
+
+// sendFrame transmits a flushed frame at its scheduled handoff instant.
+func (n *NIC) sendFrame(arg any) { n.nw.Send(arg.(*simnet.Frame)) }
 
 // Node returns this NIC's node id.
 func (n *NIC) Node() int { return n.node }
@@ -317,10 +325,22 @@ type Core struct {
 	dmaDone  [][]func()
 	jobs     []func(c *Core)
 
+	// Spare backing arrays ping-ponged with the input queues each iteration,
+	// so draining a queue does not force the next arrivals to reallocate it.
+	frameSpare []*simnet.Frame
+	hostSpare  [][]wire.Msg
+	doneSpare  [][]func()
+	jobSpare   []func(c *Core)
+
 	pendReadSizes  []int
 	pendReadCbs    []func()
 	pendWriteSizes []int
 	pendWriteCbs   []func()
+
+	// Freelists for the per-vector sizes/continuation arrays: sizes come back
+	// when a vector completes, continuation batches when they have run.
+	sizePool [][]int
+	cbPool   [][]func()
 
 	outNet  map[int]*[]wire.Msg
 	outDsts []int
@@ -335,8 +355,8 @@ func (c *Core) iteration() bool {
 	p := c.nic.p
 
 	frames := c.inFrames
-	c.inFrames = nil
-	for _, f := range frames {
+	c.inFrames = c.frameSpare[:0]
+	for i, f := range frames {
 		did = true
 		c.poller.Charge(p.NICFrameRx)
 		c.nic.stats.RxFrames++
@@ -350,11 +370,14 @@ func (c *Core) iteration() bool {
 			c.poller.Charge(p.NICMsgHandle)
 			c.nic.handler(c, f.Src, m)
 		}
+		frames[i] = nil
+		c.nic.nw.Recycle(f)
 	}
+	c.frameSpare = frames[:0]
 
 	hostPkts := c.inHost
-	c.inHost = nil
-	for _, pkt := range hostPkts {
+	c.inHost = c.hostSpare[:0]
+	for i, pkt := range hostPkts {
 		did = true
 		c.poller.Charge(p.NICFrameRx) // PCIe packet descriptor handling
 		for _, m := range pkt {
@@ -362,23 +385,31 @@ func (c *Core) iteration() bool {
 			c.poller.Charge(p.NICMsgHandle)
 			c.nic.handler(c, c.nic.node, m)
 		}
+		hostPkts[i] = nil
 	}
+	c.hostSpare = hostPkts[:0]
 
 	done := c.dmaDone
-	c.dmaDone = nil
-	for _, batch := range done {
+	c.dmaDone = c.doneSpare[:0]
+	for i, batch := range done {
 		did = true
-		for _, cb := range batch {
+		for j, cb := range batch {
 			cb()
+			batch[j] = nil
 		}
+		c.cbPool = append(c.cbPool, batch[:0])
+		done[i] = nil
 	}
+	c.doneSpare = done[:0]
 
 	jobs := c.jobs
-	c.jobs = nil
-	for _, j := range jobs {
+	c.jobs = c.jobSpare[:0]
+	for i, j := range jobs {
 		did = true
 		j(c)
+		jobs[i] = nil
 	}
+	c.jobSpare = jobs[:0]
 
 	c.flushDMA()
 	c.flushNet()
@@ -495,10 +526,10 @@ func (c *Core) submitVector(write bool) {
 	var cbs []func()
 	if write {
 		sizes, cbs = c.pendWriteSizes, c.pendWriteCbs
-		c.pendWriteSizes, c.pendWriteCbs = nil, nil
+		c.pendWriteSizes, c.pendWriteCbs = c.grabSizes(), c.grabCbs()
 	} else {
 		sizes, cbs = c.pendReadSizes, c.pendReadCbs
-		c.pendReadSizes, c.pendReadCbs = nil, nil
+		c.pendReadSizes, c.pendReadCbs = c.grabSizes(), c.grabCbs()
 	}
 	if len(sizes) == 0 {
 		return
@@ -517,7 +548,12 @@ func (c *Core) submitVector(write bool) {
 		Complete: func() {
 			if len(cbs) > 0 {
 				core.dmaDone = append(core.dmaDone, cbs)
+			} else if cap(cbs) > 0 {
+				core.cbPool = append(core.cbPool, cbs[:0])
 			}
+			// The engine is done with the vector; its sizes array can back a
+			// future vector.
+			core.sizePool = append(core.sizePool, sizes[:0])
 			core.poller.Wake()
 		},
 	}
@@ -538,6 +574,26 @@ func (c *Core) submitVector(write bool) {
 	// Submit at the core's current instant so engine admission sees the
 	// true submission time, not the iteration's start.
 	c.poller.At(0, func() { c.nic.dma.Submit(queue, v) })
+}
+
+// grabSizes returns a recycled sizes array (or nil; append allocates then).
+func (c *Core) grabSizes() []int {
+	if n := len(c.sizePool); n > 0 {
+		s := c.sizePool[n-1]
+		c.sizePool = c.sizePool[:n-1]
+		return s
+	}
+	return nil
+}
+
+// grabCbs returns a recycled continuation array (or nil).
+func (c *Core) grabCbs() []func() {
+	if n := len(c.cbPool); n > 0 {
+		s := c.cbPool[n-1]
+		c.cbPool = c.cbPool[:n-1]
+		return s
+	}
+	return nil
 }
 
 // DMA resubmission backoff: deterministic capped doubling, mirroring the
@@ -566,68 +622,76 @@ func (c *Core) flushDMA() {
 }
 
 // flushNet transmits each destination's gather list, packing messages into
-// MTU-bounded frames when aggregation is enabled.
+// MTU-bounded frames when aggregation is enabled. Frames come from the
+// fabric's freelist and carry their messages in the frame's own (recycled)
+// Msgs array, and handoff is scheduled closure-free, so a flush of an
+// already-warm core allocates nothing.
 func (c *Core) flushNet() {
 	p := c.nic.p
 	flow := c.nic.node*64 + c.id
 	for _, dst := range c.outDsts {
 		q := c.outNet[dst]
 		ms := *q
-		*q = nil
 		if len(ms) == 0 {
 			continue
 		}
 		c.nic.gatherLens.Record(len(ms))
-		var batchMsgs []any
+		if !c.nic.feat.EthAggregation {
+			for i, m := range ms {
+				c.nic.stats.TxMsgs++
+				f := c.nic.nw.NewFrame()
+				f.Msgs = append(f.Msgs, m)
+				c.emitFrame(dst, flow, m.WireSize(), f)
+				ms[i] = nil
+			}
+			*q = ms[:0]
+			continue
+		}
+		f := c.nic.nw.NewFrame()
 		batchBytes := 0
-		send := func(bytes int, msgs []any) {
-			// Messages larger than the MTU are fragmented; the payload
-			// rides the leading frames and the messages are delivered with
-			// the final fragment (last-bit arrival).
-			for bytes > p.MTU {
-				c.Charge(p.NICFrameTx)
-				c.nic.stats.TxFrames++
-				frag := &simnet.Frame{Src: c.nic.node, Dst: dst,
-					PayloadBytes: p.MTU, Flow: flow}
-				c.poller.At(0, func() { c.nic.nw.Send(frag) })
-				bytes -= p.MTU
-			}
-			c.Charge(p.NICFrameTx)
-			c.nic.stats.TxFrames++
-			c.nic.batchSizes.Record(len(msgs))
-			if tr := c.nic.tr; tr.Enabled() {
-				tr.Instant("net", "frame-tx", c.nic.node, c.id, c.nic.eng.Now(),
-					trace.Args{"dst": dst, "bytes": bytes, "msgs": len(msgs)})
-			}
-			f := &simnet.Frame{Src: c.nic.node, Dst: dst,
-				PayloadBytes: bytes, Flow: flow, Msgs: msgs}
-			// Transmit at the core's current instant so link serialization
-			// starts when the core actually hands off the frame.
-			c.poller.At(0, func() { c.nic.nw.Send(f) })
-		}
-		emit := func() {
-			if batchBytes == 0 {
-				return
-			}
-			send(batchBytes, batchMsgs)
-			batchMsgs, batchBytes = nil, 0
-		}
-		for _, m := range ms {
+		for i, m := range ms {
 			sz := m.WireSize()
 			c.nic.stats.TxMsgs++
-			if !c.nic.feat.EthAggregation {
-				send(sz, []any{m})
-				continue
-			}
 			if batchBytes > 0 && batchBytes+sz > p.MTU {
-				emit()
+				c.emitFrame(dst, flow, batchBytes, f)
+				f = c.nic.nw.NewFrame()
+				batchBytes = 0
 			}
-			batchMsgs = append(batchMsgs, m)
+			f.Msgs = append(f.Msgs, m)
 			batchBytes += sz
+			ms[i] = nil
 		}
-		emit()
+		c.emitFrame(dst, flow, batchBytes, f)
+		*q = ms[:0]
 	}
 	c.outDsts = c.outDsts[:0]
+}
+
+// emitFrame stamps and transmits one gathered frame carrying bytes of
+// payload. Messages larger than the MTU are fragmented; the payload rides
+// the leading frames and the messages are delivered with the final fragment
+// (last-bit arrival).
+func (c *Core) emitFrame(dst, flow, bytes int, f *simnet.Frame) {
+	p := c.nic.p
+	for bytes > p.MTU {
+		c.Charge(p.NICFrameTx)
+		c.nic.stats.TxFrames++
+		frag := c.nic.nw.NewFrame()
+		frag.Src, frag.Dst, frag.PayloadBytes, frag.Flow = c.nic.node, dst, p.MTU, flow
+		c.nic.eng.At1(c.poller.Now(), c.nic.sendFn, frag)
+		bytes -= p.MTU
+	}
+	c.Charge(p.NICFrameTx)
+	c.nic.stats.TxFrames++
+	c.nic.batchSizes.Record(len(f.Msgs))
+	if tr := c.nic.tr; tr.Enabled() {
+		tr.Instant("net", "frame-tx", c.nic.node, c.id, c.nic.eng.Now(),
+			trace.Args{"dst": dst, "bytes": bytes, "msgs": len(f.Msgs)})
+	}
+	f.Src, f.Dst, f.PayloadBytes, f.Flow = c.nic.node, dst, bytes, flow
+	// Transmit at the core's current instant so link serialization starts
+	// when the core actually hands off the frame.
+	c.nic.eng.At1(c.poller.Now(), c.nic.sendFn, f)
 }
 
 // flushHost delivers queued NIC->host messages as one PCIe packet.

@@ -34,12 +34,21 @@ type Poller struct {
 	running bool     // an iteration (or its end event) is in flight
 	wake    bool     // arrival while running; rerun at iteration end
 	stopped bool
+	did     bool // last iteration performed work (consumed at iteration end)
+
+	// iterateFn/endFn are the loop callbacks bound once at construction, so
+	// the per-iteration schedule sites allocate nothing.
+	iterateFn func()
+	endFn     func()
 }
 
 // NewPoller creates a parked poller. Callers must set the work function via
 // SetWork before the first Wake.
 func NewPoller(eng *sim.Engine, pickup sim.Time) *Poller {
-	return &Poller{eng: eng, pickup: pickup}
+	p := &Poller{eng: eng, pickup: pickup}
+	p.iterateFn = p.iterate
+	p.endFn = p.iterationEnd
+	return p
 }
 
 // SetWork installs the per-iteration work function.
@@ -81,7 +90,7 @@ func (p *Poller) Wake() {
 		return
 	}
 	p.running = true
-	p.eng.After(p.pickup, p.iterate)
+	p.eng.At(p.eng.Now()+p.pickup, p.iterateFn)
 }
 
 func (p *Poller) iterate() {
@@ -91,7 +100,7 @@ func (p *Poller) iterate() {
 	}
 	p.elapsed = 0
 	p.wake = false
-	did := p.work()
+	p.did = p.work()
 	busy := p.elapsed
 	if p.onBusy != nil && busy > 0 {
 		p.onBusy(busy)
@@ -103,17 +112,21 @@ func (p *Poller) iterate() {
 	if gap <= 0 {
 		gap = p.pickup
 	}
-	p.eng.At(p.eng.Now()+gap, func() {
-		if p.stopped {
-			p.running = false
-			return
-		}
-		if did || p.wake {
-			// More work arrived (or this burst did work and queues may
-			// still hold entries): run again back to back.
-			p.eng.Defer(p.iterate)
-			return
-		}
+	p.eng.At(p.eng.Now()+gap, p.endFn)
+}
+
+// iterationEnd runs at the iteration's finish instant and decides whether
+// the loop spins again or parks.
+func (p *Poller) iterationEnd() {
+	if p.stopped {
 		p.running = false
-	})
+		return
+	}
+	if p.did || p.wake {
+		// More work arrived (or this burst did work and queues may still
+		// hold entries): run again back to back.
+		p.eng.Defer(p.iterateFn)
+		return
+	}
+	p.running = false
 }

@@ -46,6 +46,11 @@ type Engine struct {
 	// has a Failed callback; returning true fails the vector.
 	faultHook func() bool
 	failures  int64
+
+	// fireFn is the completion callback bound once at construction, so each
+	// completion event schedules without allocating a closure (the *Vector
+	// rides as the event argument).
+	fireFn func(any)
 }
 
 // SetFaultHook installs the completion-error decision hook (fault runs).
@@ -68,7 +73,21 @@ func (d *Engine) Stall(dur sim.Time) {
 
 // New returns a DMA engine using parameters p.
 func New(eng *sim.Engine, p model.Params) *Engine {
-	return &Engine{eng: eng, p: p}
+	d := &Engine{eng: eng, p: p}
+	d.fireFn = d.fire
+	return d
+}
+
+// fire runs a vector's completion (or its injected failure) at the
+// simulated completion instant.
+func (d *Engine) fire(arg any) {
+	v := arg.(*Vector)
+	if v.Failed != nil && d.faultHook != nil && d.faultHook() {
+		d.failures++
+		v.Failed()
+		return
+	}
+	v.Complete()
 }
 
 // elementCost is the engine occupancy of one element: small elements are
@@ -140,14 +159,7 @@ func (d *Engine) Submit(queue int, v *Vector) {
 		lat = d.p.DMAReadLatency
 	}
 	if v.Complete != nil {
-		d.eng.At(finish+lat, func() {
-			if v.Failed != nil && d.faultHook != nil && d.faultHook() {
-				d.failures++
-				v.Failed()
-				return
-			}
-			v.Complete()
-		})
+		d.eng.At1(finish+lat, d.fireFn, v)
 	}
 }
 

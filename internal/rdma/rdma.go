@@ -268,14 +268,17 @@ func (n *NIC) armVerbTimer(r *request, d sim.Time) {
 // object rides the final fragment (last-bit delivery).
 func (n *NIC) sendFrames(dst, bytes int, payload any) {
 	for bytes > n.p.MTU {
-		n.nw.Send(&simnet.Frame{Src: n.node, Dst: dst, PayloadBytes: n.p.MTU, Flow: n.node})
+		frag := n.nw.NewFrame()
+		frag.Src, frag.Dst, frag.PayloadBytes, frag.Flow = n.node, dst, n.p.MTU, n.node
+		n.nw.Send(frag)
 		bytes -= n.p.MTU
 	}
-	var msgs []any
+	f := n.nw.NewFrame()
+	f.Src, f.Dst, f.PayloadBytes, f.Flow = n.node, dst, bytes, n.node
 	if payload != nil {
-		msgs = []any{payload}
+		f.Msgs = append(f.Msgs, payload)
 	}
-	n.nw.Send(&simnet.Frame{Src: n.node, Dst: dst, PayloadBytes: bytes, Flow: n.node, Msgs: msgs})
+	n.nw.Send(f)
 }
 
 // onFrame handles arriving verb requests and responses at NIC hardware.
@@ -290,6 +293,7 @@ func (n *NIC) onFrame(f *simnet.Frame) {
 			panic(fmt.Sprintf("rdma: unexpected frame content %T", raw))
 		}
 	}
+	n.nw.Recycle(f)
 }
 
 func (n *NIC) handleRequest(r *request) {

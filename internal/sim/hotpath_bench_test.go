@@ -1,0 +1,30 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedule measures the per-event scheduling + dispatch overhead of
+// the engine: one event scheduled and executed per op.
+func BenchmarkSchedule(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleDepth64 keeps a 64-deep pending queue, the typical shape
+// of a loaded cluster run.
+func BenchmarkScheduleDepth64(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.At(Time(i), fn)
+	}
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+64, fn)
+		e.Step()
+	}
+}

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -60,32 +59,73 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // FromNanos converts floating-point nanoseconds to Time.
 func FromNanos(ns float64) Time { return Time(ns * float64(Nanosecond)) }
 
-// event is a scheduled callback.
+// event is a scheduled callback. It carries either a plain closure (fn) or a
+// monomorphic callback with its argument (fn1, arg); the latter lets hot
+// paths schedule without allocating a closure per event: a package-level
+// function or a method value stored once, plus a pointer-shaped argument,
+// costs nothing to box.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	fn1 func(any)
+	arg any
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
+// eventHeap is a min-heap ordered by (at, seq). It is monomorphic on
+// purpose: container/heap's interface{}-based Push/Pop box every event
+// record (two allocations per scheduled event); here event records live in
+// the heap's backing array and scheduling allocates only on growth.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release callback/arg references
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		child := l
+		if r < n && s.less(r, l) {
+			child = r
+		}
+		if !s.less(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not usable;
@@ -122,7 +162,20 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: t, seq: e.seq, fn: fn})
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// At1 schedules fn(arg) to run at absolute time t. It is the allocation-free
+// variant of At for hot schedule sites: fn should be a function value that
+// outlives the call (a package-level function or a method value stored once
+// at construction) and arg should be pointer-shaped, so neither boxing nor a
+// closure allocates. Semantics otherwise match At.
+func (e *Engine) At1(t Time, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.pq.push(event{at: t, seq: e.seq, fn1: fn, arg: arg})
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -138,10 +191,14 @@ func (e *Engine) Step() bool {
 	if e.halted || len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.at
 	e.nRun++
-	ev.fn()
+	if ev.fn1 != nil {
+		ev.fn1(ev.arg)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 
@@ -150,10 +207,14 @@ func (e *Engine) Step() bool {
 // left at min(until, time of last event).
 func (e *Engine) Run(until Time) {
 	for !e.halted && len(e.pq) > 0 && e.pq[0].at <= until {
-		ev := heap.Pop(&e.pq).(event)
+		ev := e.pq.pop()
 		e.now = ev.at
 		e.nRun++
-		ev.fn()
+		if ev.fn1 != nil {
+			ev.fn1(ev.arg)
+		} else {
+			ev.fn()
+		}
 	}
 	if !e.halted && e.now < until {
 		e.now = until

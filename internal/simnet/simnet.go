@@ -50,6 +50,16 @@ type Network struct {
 	p     model.Params
 	ports []port
 
+	// deliverFn is the delivery callback bound once at construction so frame
+	// delivery schedules without allocating a closure per frame.
+	deliverFn func(any)
+
+	// free is the frame freelist. Frames delivered exactly once (fault-free
+	// runs) are recycled by receivers via Recycle; with a fault hook
+	// installed, duplicate deliveries and retransmissions alias frames, so
+	// recycling is disabled.
+	free []*Frame
+
 	// Fault injection (nil on fault-free runs; see SetFault).
 	fate func(src, dst int) (drop, dup bool, delay sim.Time)
 	live func(node int) bool
@@ -106,7 +116,46 @@ func New(eng *sim.Engine, p model.Params, n int) *Network {
 		nw.ports[i].egressBusy = make([]sim.Time, p.LinksPerNode)
 		nw.ports[i].ingressBusy = make([]sim.Time, p.LinksPerNode)
 	}
+	nw.deliverFn = nw.deliver
 	return nw
+}
+
+// deliver hands an arrived frame to its destination handler (the At1 target
+// for frame-arrival events).
+func (n *Network) deliver(arg any) {
+	f := arg.(*Frame)
+	h := n.ports[f.Dst].handler
+	if h == nil {
+		panic(fmt.Sprintf("simnet: no handler attached at node %d", f.Dst))
+	}
+	h(f)
+}
+
+// NewFrame returns a zeroed frame, reusing a recycled one when available.
+// The returned frame's Msgs slice keeps its capacity so senders can append
+// into it without reallocating.
+func (n *Network) NewFrame() *Frame {
+	if len(n.free) == 0 {
+		return &Frame{}
+	}
+	f := n.free[len(n.free)-1]
+	n.free = n.free[:len(n.free)-1]
+	return f
+}
+
+// Recycle returns a delivered frame to the freelist. Receivers call it after
+// consuming the frame's messages; the frame must not be referenced
+// afterwards. On fault runs this is a no-op: retransmission and duplicate
+// delivery keep frames alive past their first arrival.
+func (n *Network) Recycle(f *Frame) {
+	if n.fate != nil {
+		return
+	}
+	for i := range f.Msgs {
+		f.Msgs[i] = nil
+	}
+	*f = Frame{Msgs: f.Msgs[:0]}
+	n.free = append(n.free, f)
 }
 
 // Nodes returns the number of attached ports.
@@ -196,14 +245,13 @@ func (n *Network) transmit(f *Frame, attempt int) {
 	dst.ingressBusy[inLane] = arrive
 	dst.rxBytes += int64(n.p.WireBytes(f.PayloadBytes))
 
-	h := dst.handler
-	if h == nil {
+	if dst.handler == nil {
 		panic(fmt.Sprintf("simnet: no handler attached at node %d", f.Dst))
 	}
-	n.eng.At(arrive, func() { h(f) })
+	n.eng.At1(arrive, n.deliverFn, f)
 	if dupFrame {
 		// Duplicate delivery of the same frame; receivers suppress it by Seq.
-		n.eng.At(arrive, func() { h(f) })
+		n.eng.At1(arrive, n.deliverFn, f)
 	}
 }
 

@@ -64,6 +64,14 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// MetaLen reports the number of recorded metadata events.
+func (t *Tracer) MetaLen() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.meta)
+}
+
 // Events returns the recorded events (metadata excluded) for inspection.
 func (t *Tracer) Events() []Event {
 	if t == nil {

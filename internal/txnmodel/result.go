@@ -1,0 +1,38 @@
+package txnmodel
+
+import (
+	"fmt"
+
+	"xenic/internal/sim"
+)
+
+// Result summarizes one measurement window. It is shared by the Xenic
+// cluster (internal/core) and the baseline systems (internal/baseline), so
+// harness code can measure any system through one interface and compare the
+// numbers field for field.
+type Result struct {
+	Duration      sim.Time
+	Committed     int64 // all committed transactions
+	Measured      int64 // workload-counted transactions (e.g. new orders)
+	Aborts        int64
+	Failed        int64
+	PerServerTput float64 // measured transactions /s /server
+	Median        sim.Time
+	P99           sim.Time
+	Mean          sim.Time
+	// Abort breakdown by reason.
+	AbortLocked  int64
+	AbortVersion int64
+	AbortMissing int64
+	AbortView    int64
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d",
+		r.PerServerTput, r.Median, r.P99, r.Aborts)
+	if r.Aborts > 0 {
+		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
+			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
+	}
+	return s + fmt.Sprintf(" failed=%d", r.Failed)
+}

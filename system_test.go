@@ -1,0 +1,101 @@
+package xenic_test
+
+import (
+	"testing"
+
+	"xenic"
+)
+
+// systems constructs one of each cluster type behind the System interface,
+// with identical workload and scale.
+func systems(t *testing.T, opts ...xenic.Option) map[string]xenic.System {
+	t.Helper()
+	cfg := xenic.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 1, 4
+	xc, err := xenic.NewCluster(cfg, &tinyWorkload{keys: 4000}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := xenic.DefaultBaselineConfig(xenic.DrTMH)
+	bcfg.Nodes = 4
+	bcfg.Threads = 4
+	bc, err := xenic.NewBaseline(bcfg, &tinyWorkload{keys: 4000}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]xenic.System{"xenic": xc, "DrTM+H": bc}
+}
+
+// TestSystemConformance drives both cluster types through the full System
+// lifecycle using only the interface.
+func TestSystemConformance(t *testing.T) {
+	for name, s := range systems(t) {
+		s.Start()
+		s.Run(1 * xenic.Millisecond)
+		res := s.Measure(1*xenic.Millisecond, 2*xenic.Millisecond)
+		if res.PerServerTput <= 0 || res.Committed == 0 || res.Median <= 0 {
+			t.Errorf("%s: empty measurement: %+v", name, res)
+		}
+		if !s.Drain(100 * xenic.Millisecond) {
+			t.Errorf("%s: did not drain", name)
+		}
+		if !s.Quiesced() {
+			t.Errorf("%s: not quiesced after drain", name)
+		}
+	}
+}
+
+// TestOptionsAttachObservers verifies WithTracer and WithStats wire the
+// observers into both cluster types at construction.
+func TestOptionsAttachObservers(t *testing.T) {
+	for _, name := range []string{"xenic", "DrTM+H"} {
+		tr := xenic.NewTracer()
+		reg := xenic.NewStatsRegistry()
+		s := systems(t, xenic.WithTracer(tr), xenic.WithStats(reg))[name]
+		s.Measure(500*xenic.Microsecond, 1*xenic.Millisecond)
+		// The baseline's fault-free data path records only process/thread
+		// metadata; the Xenic cluster records per-phase spans too.
+		if tr.Len()+tr.MetaLen() == 0 {
+			t.Errorf("%s: tracer attached via WithTracer recorded nothing", name)
+		}
+		if len(reg.Names()) == 0 {
+			t.Errorf("%s: registry attached via WithStats registered nothing", name)
+		}
+	}
+}
+
+// TestOptionsFaults verifies WithFaults installs (and explicitly clears) a
+// fault plan.
+func TestOptionsFaults(t *testing.T) {
+	plan, err := xenic.ParseFaultPlan("drop=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xenic.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 1, 4
+	cl, err := xenic.NewCluster(cfg, &tinyWorkload{keys: 4000}, xenic.WithFaults(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	cl.Run(2 * xenic.Millisecond)
+	inj := cl.Injector()
+	if inj == nil {
+		t.Fatal("WithFaults did not install an injector")
+	}
+	if inj.Drops == 0 {
+		t.Error("drop plan injected no drops")
+	}
+
+	// WithFaults(nil) clears a plan already present in the config.
+	cfg.Faults = plan
+	cl2, err := xenic.NewCluster(cfg, &tinyWorkload{keys: 4000}, xenic.WithFaults(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl2.Injector() != nil {
+		t.Error("WithFaults(nil) did not clear the configured plan")
+	}
+}

@@ -84,6 +84,93 @@ type Result = core.Result
 // Cluster is a simulated Xenic deployment.
 type Cluster = core.Cluster
 
+// System is the common surface of every simulated transaction system: the
+// Xenic cluster and each RDMA/RPC baseline implement it, so measurement code
+// (the harness curve runners, examples, user benchmarks) is written once
+// against System and runs unchanged over any of them.
+//
+// The lifecycle is: construct (NewCluster/NewBaseline, attaching observers
+// via Options), Start load, Measure one or more windows, then Drain. Run
+// advances simulated time directly for callers that manage their own
+// windows; StopLoad halts generation without waiting for quiescence.
+type System interface {
+	// Start begins closed-loop load generation on every application thread.
+	Start()
+	// StopLoad stops generating new transactions; in-flight ones drain.
+	StopLoad()
+	// Run advances simulated time by d.
+	Run(d Time)
+	// Measure runs warmup, resets statistics, runs the measurement window,
+	// and aggregates cluster-wide results. Starts load if not yet started.
+	Measure(warmup, window Time) Result
+	// Drain stops load and runs until quiesced (or the deadline elapses),
+	// reporting success.
+	Drain(deadline Time) bool
+	// Quiesced reports whether the system has fully drained.
+	Quiesced() bool
+	// SetTracer attaches a tracer (nil disables tracing). Call before Start.
+	// Prefer WithTracer at construction.
+	SetTracer(tr *Tracer)
+	// RegisterMetrics registers the system's counters under reg. Prefer
+	// WithStats at construction.
+	RegisterMetrics(reg *StatsRegistry)
+}
+
+// Both cluster types satisfy System.
+var (
+	_ System = (*Cluster)(nil)
+	_ System = (*BaselineCluster)(nil)
+)
+
+// Option configures observability and fault injection at construction time,
+// uniformly for NewCluster and NewBaseline. Options subsume the older
+// attach-point trio — Config.Faults, SetTracer, RegisterMetrics — which
+// remain supported but are better expressed in one place:
+//
+//	cl, err := xenic.NewCluster(cfg, w,
+//	    xenic.WithTracer(tr), xenic.WithStats(reg), xenic.WithFaults(plan))
+type Option func(*options)
+
+type options struct {
+	tracer    *Tracer
+	stats     *StatsRegistry
+	faults    *FaultPlan
+	setFaults bool
+}
+
+// WithTracer attaches tr before any traffic flows (equivalent to calling
+// SetTracer immediately after construction).
+func WithTracer(tr *Tracer) Option { return func(o *options) { o.tracer = tr } }
+
+// WithStats registers the system's metrics under reg (equivalent to calling
+// RegisterMetrics immediately after construction).
+func WithStats(reg *StatsRegistry) Option { return func(o *options) { o.stats = reg } }
+
+// WithFaults installs the fault-injection plan (equivalent to setting
+// Config.Faults / BaselineConfig.Faults before construction). Passing nil
+// explicitly clears any plan already present in the config.
+func WithFaults(p *FaultPlan) Option {
+	return func(o *options) { o.faults = p; o.setFaults = true }
+}
+
+func gather(opts []Option) options {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// apply wires the gathered observers into a constructed system.
+func (o options) apply(s System) {
+	if o.tracer != nil {
+		s.SetTracer(o.tracer)
+	}
+	if o.stats != nil {
+		s.RegisterMetrics(o.stats)
+	}
+}
+
 // DefaultConfig mirrors the paper's testbed: 6 servers, 3-way replication,
 // 100Gbps fabric, calibrated LiquidIO 3 SmartNICs.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -94,8 +181,20 @@ func AllFeatures() Features { return core.AllFeatures() }
 // DefaultParams returns the calibrated device model (§3).
 func DefaultParams() model.Params { return model.Default() }
 
-// NewCluster builds and populates a Xenic cluster running w.
-func NewCluster(cfg Config, w Workload) (*Cluster, error) { return core.New(cfg, w) }
+// NewCluster builds and populates a Xenic cluster running w, then applies
+// any options (tracer, stats registry, fault plan).
+func NewCluster(cfg Config, w Workload, opts ...Option) (*Cluster, error) {
+	o := gather(opts)
+	if o.setFaults {
+		cfg.Faults = o.faults
+	}
+	cl, err := core.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	o.apply(cl)
+	return cl, nil
+}
 
 // Baseline selects one of the comparison systems (§5.1).
 type Baseline = baseline.System
@@ -117,9 +216,19 @@ type BaselineCluster = baseline.Cluster
 // DefaultBaselineConfig mirrors the testbed for the given system.
 func DefaultBaselineConfig(sys Baseline) BaselineConfig { return baseline.DefaultConfig(sys) }
 
-// NewBaseline builds a baseline cluster running w.
-func NewBaseline(cfg BaselineConfig, w Workload) (*BaselineCluster, error) {
-	return baseline.New(cfg, w)
+// NewBaseline builds a baseline cluster running w, then applies any options
+// (tracer, stats registry, fault plan).
+func NewBaseline(cfg BaselineConfig, w Workload, opts ...Option) (*BaselineCluster, error) {
+	o := gather(opts)
+	if o.setFaults {
+		cfg.Faults = o.faults
+	}
+	cl, err := baseline.New(cfg, w)
+	if err != nil {
+		return nil, err
+	}
+	o.apply(cl)
+	return cl, nil
 }
 
 // TPCC returns the full TPC-C workload (§5.3).
