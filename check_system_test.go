@@ -1,0 +1,126 @@
+package xenic_test
+
+import (
+	"testing"
+
+	"xenic"
+)
+
+// checkSystems constructs the Xenic cluster and all four baselines behind
+// the System interface, running a small Smallbank (read-write) workload at
+// a fixed seed, with any options applied at construction.
+func checkSystems(t *testing.T, seed int64, faults *xenic.FaultPlan, opts ...xenic.Option) map[string]xenic.System {
+	t.Helper()
+	out := make(map[string]xenic.System)
+
+	g := xenic.Smallbank()
+	g.AccountsPerServer = 2000
+	cfg := xenic.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Replication = 3
+	cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 2, 4
+	cfg.Outstanding = 4
+	cfg.Seed = seed
+	cfg.Faults = faults
+	xc, err := xenic.NewCluster(cfg, g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["xenic"] = xc
+
+	for _, sys := range []xenic.Baseline{xenic.DrTMH, xenic.DrTMHNC, xenic.FaSST, xenic.DrTMR} {
+		g := xenic.Smallbank()
+		g.AccountsPerServer = 2000
+		bcfg := xenic.DefaultBaselineConfig(sys)
+		bcfg.Nodes = 4
+		bcfg.Replication = 3
+		bcfg.Threads = 4
+		bcfg.Outstanding = 4
+		bcfg.Seed = seed
+		bcfg.Faults = faults
+		bc, err := xenic.NewBaseline(bcfg, g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[sys.String()] = bc
+	}
+	return out
+}
+
+// driveAndCheck runs s briefly, drains it, and requires a clean
+// serializability check and state audit from its attached history.
+func driveAndCheck(t *testing.T, name string, s xenic.System, h *xenic.History) {
+	t.Helper()
+	s.Start()
+	s.Run(3 * xenic.Millisecond)
+	if !s.Drain(200 * xenic.Millisecond) {
+		t.Fatalf("%s: did not drain", name)
+	}
+	if h.Len() == 0 {
+		t.Fatalf("%s: history recorded nothing", name)
+	}
+	rep := h.Check()
+	if !rep.Ok() {
+		t.Errorf("%s: serializability violation:\n%s", name, rep.String())
+	}
+	if err := s.AuditHistory(); err != nil {
+		t.Errorf("%s: %v", name, err)
+	}
+}
+
+// TestHistorySerializable attaches a recorder to every system via
+// WithHistory, drives a read-write workload, and requires a cycle-free
+// dependency graph plus a clean final-state audit.
+func TestHistorySerializable(t *testing.T) {
+	hists := make(map[string]*xenic.History)
+	mk := func(name string) xenic.Option {
+		h := xenic.NewHistory()
+		hists[name] = h
+		return xenic.WithHistory(h)
+	}
+	for _, name := range []string{"xenic", "DrTM+H", "DrTM+H NC", "FaSST", "DrTM+R"} {
+		s := checkSystems(t, 7, nil, mk(name))[name]
+		driveAndCheck(t, name, s, hists[name])
+	}
+}
+
+// TestHistorySerializableUnderFaults repeats the check with a lossy
+// network (drops and duplicates), which forces retransmissions, timeouts,
+// and retries through the same commit protocol.
+func TestHistorySerializableUnderFaults(t *testing.T) {
+	plan, err := xenic.ParseFaultPlan("drop=0.02,dup=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"xenic", "DrTM+H", "DrTM+H NC", "FaSST", "DrTM+R"} {
+		h := xenic.NewHistory()
+		s := checkSystems(t, 11, plan, xenic.WithHistory(h))[name]
+		driveAndCheck(t, name, s, h)
+	}
+}
+
+// TestHistoryRecordingDeterministic verifies that attaching a recorder
+// never perturbs the simulation: the same seed with and without
+// WithHistory produces identical results on every system.
+func TestHistoryRecordingDeterministic(t *testing.T) {
+	run := func(name string, opts ...xenic.Option) xenic.Result {
+		s := checkSystems(t, 3, nil, opts...)[name]
+		res := s.Measure(1*xenic.Millisecond, 2*xenic.Millisecond)
+		if !s.Drain(200 * xenic.Millisecond) {
+			t.Fatalf("%s: did not drain", name)
+		}
+		return res
+	}
+	for _, name := range []string{"xenic", "DrTM+H", "DrTM+H NC", "FaSST", "DrTM+R"} {
+		h := xenic.NewHistory()
+		with := run(name, xenic.WithHistory(h))
+		without := run(name)
+		if with != without {
+			t.Errorf("%s: WithHistory perturbed the run:\n  with:    %+v\n  without: %+v",
+				name, with, without)
+		}
+		if h.Len() == 0 {
+			t.Errorf("%s: recorder attached but empty", name)
+		}
+	}
+}

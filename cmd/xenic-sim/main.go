@@ -13,6 +13,11 @@
 //	xenic-sim -faults drop=0.01,dup=0.005,crash=2@4ms -ms 10
 //
 // Baselines accept only network faults (drop/dup/delay/partition).
+//
+// With -check the run records every transaction's read and write sets and,
+// after draining, verifies the history is serializable (acyclic wr/ww/rw
+// dependency graph) and the final state matches the last committed writers;
+// a violation prints a witness cycle and exits 1.
 package main
 
 import (
@@ -42,6 +47,7 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (xenic only)")
 	statsOut := flag.String("stats", "", "write a stats-registry JSON snapshot of the run")
 	faults := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,crash=2@4ms,part=1:2@2ms+1ms")
+	checkRun := flag.Bool("check", false, "record the transaction history and check serializability + state audits after the run")
 	flag.Parse()
 
 	var plan *xenic.FaultPlan
@@ -77,6 +83,11 @@ func main() {
 	warm := xenic.Time(*warmMS) * xenic.Millisecond
 	win := xenic.Time(*ms) * xenic.Millisecond
 
+	var hist *xenic.History
+	if *checkRun {
+		hist = xenic.NewHistory()
+	}
+
 	if strings.EqualFold(*system, "xenic") {
 		cfg := xenic.DefaultConfig()
 		cfg.Nodes = *nodes
@@ -102,10 +113,14 @@ func main() {
 			reg = xenic.NewStatsRegistry()
 			cl.RegisterMetrics(reg)
 		}
+		if hist != nil {
+			cl.SetHistory(hist)
+		}
 		res := cl.Measure(warm, win)
 		fmt.Printf("xenic/%s: %s\n", gen.Name(), res)
 		writeTrace(*traceOut, tr)
 		writeStats(*statsOut, reg)
+		checkHistory(cl, hist)
 		return
 	}
 
@@ -143,9 +158,35 @@ func main() {
 		reg = xenic.NewStatsRegistry()
 		cl.RegisterMetrics(reg)
 	}
+	if hist != nil {
+		cl.SetHistory(hist)
+	}
 	res := cl.Measure(warm, win)
 	fmt.Printf("%s/%s: %s\n", sys, gen.Name(), res)
 	writeStats(*statsOut, reg)
+	checkHistory(cl, hist)
+}
+
+// checkHistory drains the system, runs the serializability checker over the
+// recorded history, and audits the final state. Any violation exits 1.
+func checkHistory(s xenic.System, h *xenic.History) {
+	if h == nil {
+		return
+	}
+	if !s.Drain(500 * xenic.Millisecond) {
+		fmt.Fprintln(os.Stderr, "xenic-sim: -check: system did not drain")
+		os.Exit(1)
+	}
+	rep := h.Check()
+	fmt.Printf("check: %s\n", rep)
+	if err := s.AuditHistory(); err != nil {
+		fmt.Fprintf(os.Stderr, "xenic-sim: -check: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("audit: clean")
+	if !rep.Ok() {
+		os.Exit(1)
+	}
 }
 
 // writeTrace dumps tr as Chrome trace-event JSON to path (no-op when unset).

@@ -3,6 +3,7 @@ package baseline
 import (
 	"fmt"
 
+	"xenic/internal/check"
 	"xenic/internal/fault"
 	"xenic/internal/hostrt"
 	"xenic/internal/metrics"
@@ -26,6 +27,7 @@ type Cluster struct {
 	place  txnmodel.Placement
 	reg    *txnmodel.Registry
 	tracer *trace.Tracer
+	hist   *check.History // nil unless SetHistory attached one
 	loadOn bool
 }
 

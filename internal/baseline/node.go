@@ -308,6 +308,10 @@ func (n *Node) applyBackupRecords(t *hostrt.Thread) bool {
 
 // completeTxn finalizes an outcome.
 func (n *Node) completeTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
+	if st == wire.StatusOK {
+		// Retries-exhausted failures were already recorded by retryTxn.
+		n.recordCommit(t, tx)
+	}
 	at := n.app[txnThread(tx.id)]
 	delete(at.inflight, tx.id)
 	at.outstanding--
@@ -325,6 +329,7 @@ func (n *Node) completeTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
 
 // retryTxn re-queues with backoff.
 func (n *Node) retryTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
+	n.recordAbort(t, tx, st)
 	n.stats.Aborts++
 	if int(st) < len(n.stats.AbortReasons) {
 		n.stats.AbortReasons[st]++

@@ -1,0 +1,306 @@
+// Package check records complete transaction histories from a simulated
+// cluster run and verifies them for serializability (DESIGN.md §9).
+//
+// The recorder is pure Go-side bookkeeping: it schedules no events, charges
+// no simulated time, and sends no messages, so a run with a History attached
+// is byte-identical to one without. Both the Xenic cluster and the baseline
+// clusters append one TxnRecord per transaction outcome at their protocol
+// decision points (commit point, abort decision), and the Xenic ship target
+// additionally appends a ShipRecord shadow of every shipped execution so the
+// origin and target views can be cross-checked.
+//
+// The checker reconstructs the per-key version order from installed
+// versions, builds the direct serialization graph (read-from, write-write,
+// and anti-dependency edges), and reports every strongly connected component
+// with more than one transaction as a serializability violation, together
+// with a minimal witness cycle naming the transactions, keys, and versions
+// involved.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"xenic/internal/sim"
+	"xenic/internal/wire"
+)
+
+// TxnRecord is one transaction's recorded outcome.
+type TxnRecord struct {
+	// ID is the transaction id (unique per attempt; retries get fresh ids).
+	ID uint64
+	// Node is the coordinator node (for Recovered records, the node that
+	// decided the recovery).
+	Node int
+	// Status is the final outcome; StatusOK means committed.
+	Status wire.Status
+	// Start is when the transaction opened; End is when the commit or abort
+	// decision was made (the commit point for committed transactions).
+	Start sim.Time
+	End   sim.Time
+	// Reads is the observed read set: for every key read, the version the
+	// transaction observed (0 for a missing key). Sorted by key.
+	Reads []wire.KeyVer
+	// Writes is the installed write set: for every key written, the version
+	// the commit installed. Sorted by key. Empty for aborts.
+	Writes []wire.KeyVer
+	// Recovered marks a synthetic record emitted when recovery commits a
+	// dead coordinator's transaction from its replicated log records; it
+	// carries only the recovered shard's writes and no reads. The checker
+	// merges it with any other record of the same id.
+	Recovered bool
+	// Shipped marks a multi-hop transaction executed at node ShipTo.
+	Shipped bool
+	ShipTo  int
+}
+
+// ShipRecord is the ship target's shadow of a shipped execution: the write
+// set it computed and fanned out, used to audit that the origin committed
+// exactly what the target executed.
+type ShipRecord struct {
+	Txn    uint64
+	Origin int
+	Target int
+	Writes []wire.KeyVer
+}
+
+// History accumulates transaction records for one cluster run. All methods
+// are nil-safe so recording sites call them unconditionally; a nil History
+// records nothing. A History is not safe for concurrent use — each cluster
+// owns a private sim.Engine and appends single-threaded.
+type History struct {
+	recs  []TxnRecord
+	ships []ShipRecord
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Add appends one transaction record.
+func (h *History) Add(r TxnRecord) {
+	if h == nil {
+		return
+	}
+	h.recs = append(h.recs, r)
+}
+
+// AddShip appends one ship-target shadow record.
+func (h *History) AddShip(s ShipRecord) {
+	if h == nil {
+		return
+	}
+	h.ships = append(h.ships, s)
+}
+
+// Len reports the number of transaction records.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.recs)
+}
+
+// Records returns the raw transaction records in append order.
+func (h *History) Records() []TxnRecord {
+	if h == nil {
+		return nil
+	}
+	return h.recs
+}
+
+// Ships returns the ship shadow records in append order.
+func (h *History) Ships() []ShipRecord {
+	if h == nil {
+		return nil
+	}
+	return h.ships
+}
+
+// Reads canonicalizes an observed read map into a KeyVer slice sorted by
+// key.
+func Reads(m map[uint64]wire.KV) []wire.KeyVer {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]wire.KeyVer, 0, len(m))
+	for k, kv := range m {
+		out = append(out, wire.KeyVer{Key: k, Version: kv.Version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Writes canonicalizes an installed write set into a KeyVer slice sorted by
+// key, deduplicating repeated keys (the last install wins, matching apply
+// order).
+func Writes(kvs []wire.KV) []wire.KeyVer {
+	if len(kvs) == 0 {
+		return nil
+	}
+	last := make(map[uint64]uint64, len(kvs))
+	for _, kv := range kvs {
+		last[kv.Key] = kv.Version
+	}
+	out := make([]wire.KeyVer, 0, len(last))
+	for k, v := range last {
+		out = append(out, wire.KeyVer{Key: k, Version: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// KeyVers canonicalizes an already-materialized KeyVer slice (sort by key,
+// last version wins on duplicates).
+func KeyVers(kvs []wire.KeyVer) []wire.KeyVer {
+	if len(kvs) == 0 {
+		return nil
+	}
+	last := make(map[uint64]uint64, len(kvs))
+	for _, kv := range kvs {
+		last[kv.Key] = kv.Version
+	}
+	out := make([]wire.KeyVer, 0, len(last))
+	for k, v := range last {
+		out = append(out, wire.KeyVer{Key: k, Version: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// committedTxn is the checker's merged view of one committed transaction:
+// records sharing a transaction id (a coordinator commit plus per-shard
+// recovery decisions) union their read and write sets.
+type committedTxn struct {
+	id            uint64
+	reads         map[uint64]uint64 // key -> observed version
+	writes        map[uint64]uint64 // key -> installed version
+	recoveredOnly bool              // committed only via recovery records
+	shipped       bool
+}
+
+// mergeCommitted folds the raw records into per-id committed transactions,
+// reporting merge-level anomalies (conflicting outcomes for one id,
+// conflicting versions for one key within one id).
+func (h *History) mergeCommitted() (map[uint64]*committedTxn, []string) {
+	var anomalies []string
+	merged := map[uint64]*committedTxn{}
+	aborted := map[uint64]bool{}
+	for i := range h.recs {
+		r := &h.recs[i]
+		if r.Status != wire.StatusOK {
+			aborted[r.ID] = true
+			continue
+		}
+		t := merged[r.ID]
+		if t == nil {
+			t = &committedTxn{id: r.ID, reads: map[uint64]uint64{}, writes: map[uint64]uint64{}, recoveredOnly: true}
+			merged[r.ID] = t
+		}
+		if !r.Recovered {
+			t.recoveredOnly = false
+		}
+		if r.Shipped {
+			t.shipped = true
+		}
+		for _, kv := range r.Reads {
+			if prev, ok := t.reads[kv.Key]; ok && prev != kv.Version {
+				anomalies = append(anomalies, fmt.Sprintf(
+					"txn %#x: conflicting observed versions for key %d (%d vs %d)",
+					r.ID, kv.Key, prev, kv.Version))
+				continue
+			}
+			t.reads[kv.Key] = kv.Version
+		}
+		for _, kv := range r.Writes {
+			if prev, ok := t.writes[kv.Key]; ok && prev != kv.Version {
+				anomalies = append(anomalies, fmt.Sprintf(
+					"txn %#x: conflicting installed versions for key %d (%d vs %d)",
+					r.ID, kv.Key, prev, kv.Version))
+				continue
+			}
+			t.writes[kv.Key] = kv.Version
+		}
+	}
+	for id := range merged {
+		if aborted[id] {
+			anomalies = append(anomalies, fmt.Sprintf(
+				"txn %#x: recorded both committed and aborted", id))
+		}
+	}
+	sort.Strings(anomalies)
+	return merged, anomalies
+}
+
+// CommittedIDs returns the set of transaction ids with at least one
+// committed record.
+func (h *History) CommittedIDs() map[uint64]bool {
+	out := map[uint64]bool{}
+	if h == nil {
+		return out
+	}
+	for i := range h.recs {
+		if h.recs[i].Status == wire.StatusOK {
+			out[h.recs[i].ID] = true
+		}
+	}
+	return out
+}
+
+// LastVersions returns, per key, the highest version installed by any
+// committed transaction. Keys never written by a committed transaction are
+// absent (their stores must still hold the populate version, <= 1).
+func (h *History) LastVersions() map[uint64]uint64 {
+	out := map[uint64]uint64{}
+	if h == nil {
+		return out
+	}
+	for i := range h.recs {
+		r := &h.recs[i]
+		if r.Status != wire.StatusOK {
+			continue
+		}
+		for _, kv := range r.Writes {
+			if kv.Version > out[kv.Key] {
+				out[kv.Key] = kv.Version
+			}
+		}
+	}
+	return out
+}
+
+// ShipConsistent audits shipped transactions: for every ship shadow whose
+// transaction committed, every write the committed record carries must
+// appear identically in the target's shadow (the target computed the full
+// write set), and when the coordinator itself finished the transaction the
+// two write sets must match exactly. Recovered-only commits may cover a
+// subset of shards, so only the subset direction is required there.
+func (h *History) ShipConsistent() error {
+	if h == nil {
+		return nil
+	}
+	merged, _ := h.mergeCommitted()
+	for i := range h.ships {
+		s := &h.ships[i]
+		t, ok := merged[s.Txn]
+		if !ok {
+			continue // never committed; no constraint
+		}
+		shadow := map[uint64]uint64{}
+		for _, kv := range s.Writes {
+			shadow[kv.Key] = kv.Version
+		}
+		for k, v := range t.writes {
+			if sv, ok := shadow[k]; !ok || sv != v {
+				return fmt.Errorf(
+					"check: shipped txn %#x (origin %d, target %d): committed write key %d v%d not in target shadow (target has v%d, present=%v)",
+					s.Txn, s.Origin, s.Target, k, v, sv, ok)
+			}
+		}
+		if !t.recoveredOnly && len(shadow) != len(t.writes) {
+			return fmt.Errorf(
+				"check: shipped txn %#x (origin %d, target %d): target computed %d writes but origin committed %d",
+				s.Txn, s.Origin, s.Target, len(shadow), len(t.writes))
+		}
+	}
+	return nil
+}

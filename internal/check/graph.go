@@ -1,0 +1,450 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is one dependency in the direct serialization graph.
+type Edge struct {
+	From, To uint64 // transaction ids
+	// Kind is "wr" (To read From's install), "ww" (To overwrote From's
+	// install), or "rw" (From read a version that To overwrote).
+	Kind string
+	Key  uint64
+	// FromVer/ToVer are the versions the edge relates: for wr, the version
+	// written and read; for ww, the overwritten and overwriting versions;
+	// for rw, the version read and the version that overwrote it.
+	FromVer, ToVer uint64
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("-[%s key=%d v%d->v%d]-> T%#x", e.Kind, e.Key, e.FromVer, e.ToVer, e.To)
+}
+
+// Cycle is a witness cycle: Edges[i].To == Edges[i+1].From, and the last
+// edge closes back to the first transaction.
+type Cycle struct {
+	Edges []Edge
+}
+
+func (c Cycle) String() string {
+	if len(c.Edges) == 0 {
+		return "(empty cycle)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "T%#x ", c.Edges[0].From)
+	for _, e := range c.Edges {
+		b.WriteString(e.String())
+		b.WriteByte(' ')
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Report is the checker's verdict over one history.
+type Report struct {
+	// Txns is the number of distinct committed transactions checked.
+	Txns int
+	// Edges is the total dependency-edge count (diagnostic).
+	Edges int
+	// Anomalies are structural problems found before cycle detection:
+	// duplicate version installs, reads of never-installed versions,
+	// conflicting records for one transaction id.
+	Anomalies []string
+	// Cycles are witness cycles, one per offending strongly connected
+	// component (capped at maxReportedCycles).
+	Cycles []Cycle
+}
+
+const maxReportedCycles = 5
+
+// Ok reports whether the history is serializable with no anomalies.
+func (r *Report) Ok() bool { return len(r.Anomalies) == 0 && len(r.Cycles) == 0 }
+
+// Err returns nil for a clean report, else an error summarizing it.
+func (r *Report) Err() error {
+	if r.Ok() {
+		return nil
+	}
+	return fmt.Errorf("check: %s", r.String())
+}
+
+func (r *Report) String() string {
+	if r.Ok() {
+		return fmt.Sprintf("serializable: %d txns, %d edges, no cycles", r.Txns, r.Edges)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d txns, %d edges: %d anomalies, %d cycles",
+		r.Txns, r.Edges, len(r.Anomalies), len(r.Cycles))
+	for _, a := range r.Anomalies {
+		b.WriteString("\n  anomaly: ")
+		b.WriteString(a)
+	}
+	for _, c := range r.Cycles {
+		b.WriteString("\n  cycle: ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// install is one committed write of a key.
+type install struct {
+	ver uint64
+	txn int // index into the checker's txn slice
+}
+
+// readObs is one committed read of a key.
+type readObs struct {
+	ver uint64
+	txn int
+}
+
+// intEdge is the internal adjacency representation.
+type intEdge struct {
+	to int
+	e  Edge
+}
+
+// Check verifies the recorded history: it reconstructs the per-key version
+// order, builds the read-from / write-write / anti-dependency graph over
+// committed transactions, and reports anomalies and witness cycles.
+func (h *History) Check() *Report {
+	rep := &Report{}
+	if h == nil {
+		return rep
+	}
+	merged, anomalies := h.mergeCommitted()
+	rep.Anomalies = anomalies
+
+	// Deterministic txn ordering: ascending id.
+	txns := make([]*committedTxn, 0, len(merged))
+	for _, t := range merged {
+		txns = append(txns, t)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].id < txns[j].id })
+	rep.Txns = len(txns)
+	index := make(map[uint64]int, len(txns))
+	for i, t := range txns {
+		index[t.id] = i
+	}
+
+	// Per-key installs and reads.
+	installs := map[uint64][]install{}
+	reads := map[uint64][]readObs{}
+	for i, t := range txns {
+		for k, v := range t.writes {
+			installs[k] = append(installs[k], install{ver: v, txn: i})
+		}
+		for k, v := range t.reads {
+			reads[k] = append(reads[k], readObs{ver: v, txn: i})
+		}
+	}
+
+	// Deterministic key order for anomaly and edge construction.
+	keys := make([]uint64, 0, len(installs)+len(reads))
+	seen := map[uint64]bool{}
+	for k := range installs {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range reads {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	adj := make([][]intEdge, len(txns))
+	addEdge := func(from, to int, kind string, key, fromVer, toVer uint64) {
+		if from == to {
+			return
+		}
+		adj[from] = append(adj[from], intEdge{to: to, e: Edge{
+			From: txns[from].id, To: txns[to].id,
+			Kind: kind, Key: key, FromVer: fromVer, ToVer: toVer,
+		}})
+		rep.Edges++
+	}
+
+	for _, k := range keys {
+		ins := installs[k]
+		sort.Slice(ins, func(i, j int) bool {
+			if ins[i].ver != ins[j].ver {
+				return ins[i].ver < ins[j].ver
+			}
+			return txns[ins[i].txn].id < txns[ins[j].txn].id
+		})
+		// Group installers by version; duplicate installs of one version are
+		// a lost update and get mutual ww edges (a natural 2-cycle).
+		type group struct {
+			ver  uint64
+			txns []int
+		}
+		var groups []group
+		for _, in := range ins {
+			if n := len(groups); n > 0 && groups[n-1].ver == in.ver {
+				groups[n-1].txns = append(groups[n-1].txns, in.txn)
+				continue
+			}
+			groups = append(groups, group{ver: in.ver, txns: []int{in.txn}})
+		}
+		for gi, g := range groups {
+			if len(g.txns) > 1 {
+				ids := make([]string, len(g.txns))
+				for i, ti := range g.txns {
+					ids[i] = fmt.Sprintf("T%#x", txns[ti].id)
+				}
+				rep.Anomalies = append(rep.Anomalies, fmt.Sprintf(
+					"key %d: version %d installed by %d txns (%s) — lost update",
+					k, g.ver, len(g.txns), strings.Join(ids, ", ")))
+				for _, a := range g.txns {
+					for _, b := range g.txns {
+						addEdge(a, b, "ww", k, g.ver, g.ver)
+					}
+				}
+			}
+			if gi+1 < len(groups) {
+				next := groups[gi+1]
+				for _, a := range g.txns {
+					for _, b := range next.txns {
+						addEdge(a, b, "ww", k, g.ver, next.ver)
+					}
+				}
+			}
+		}
+
+		// nextGroup finds the first install group with version > v.
+		nextGroup := func(v uint64) (group, bool) {
+			i := sort.Search(len(groups), func(i int) bool { return groups[i].ver > v })
+			if i == len(groups) {
+				return group{}, false
+			}
+			return groups[i], true
+		}
+		// sameGroup finds the install group of exactly version v.
+		sameGroup := func(v uint64) (group, bool) {
+			i := sort.Search(len(groups), func(i int) bool { return groups[i].ver >= v })
+			if i == len(groups) || groups[i].ver != v {
+				return group{}, false
+			}
+			return groups[i], true
+		}
+
+		robs := reads[k]
+		sort.Slice(robs, func(i, j int) bool {
+			if robs[i].ver != robs[j].ver {
+				return robs[i].ver < robs[j].ver
+			}
+			return txns[robs[i].txn].id < txns[robs[j].txn].id
+		})
+		for _, ro := range robs {
+			if g, ok := sameGroup(ro.ver); ok {
+				// Read-from: the installer(s) of the observed version.
+				for _, w := range g.txns {
+					addEdge(w, ro.txn, "wr", k, ro.ver, ro.ver)
+				}
+			} else if ro.ver > 1 {
+				// Versions above the populate version must come from a
+				// committed install; observing one that doesn't exist means
+				// a dirty or lost read.
+				rep.Anomalies = append(rep.Anomalies, fmt.Sprintf(
+					"key %d: T%#x observed version %d, never installed by a committed txn",
+					k, txns[ro.txn].id, ro.ver))
+			}
+			// Anti-dependency: whoever installed the next version after the
+			// one this txn observed must follow it.
+			if g, ok := nextGroup(ro.ver); ok {
+				for _, w := range g.txns {
+					addEdge(ro.txn, w, "rw", k, ro.ver, g.ver)
+				}
+			}
+		}
+	}
+
+	// Strongly connected components (iterative Tarjan); every SCC with more
+	// than one member is a serializability violation.
+	sccs := stronglyConnected(adj)
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		if len(rep.Cycles) >= maxReportedCycles {
+			rep.Anomalies = append(rep.Anomalies, fmt.Sprintf(
+				"additional cycle of %d txns suppressed (cap %d)", len(scc), maxReportedCycles))
+			continue
+		}
+		if c, ok := witnessCycle(adj, scc); ok {
+			rep.Cycles = append(rep.Cycles, c)
+		}
+	}
+	sort.Slice(rep.Cycles, func(i, j int) bool {
+		return rep.Cycles[i].Edges[0].From < rep.Cycles[j].Edges[0].From
+	})
+	return rep
+}
+
+// stronglyConnected returns Tarjan SCCs of adj, iteratively (histories can
+// be large). Components are returned with members sorted ascending.
+func stronglyConnected(adj [][]intEdge) [][]int {
+	n := len(adj)
+	const unvisited = -1
+	indexOf := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range indexOf {
+		indexOf[i] = unvisited
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if indexOf[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei == 0 {
+				indexOf[v] = next
+				lowlink[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei].to
+				f.ei++
+				if indexOf[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && indexOf[w] < lowlink[v] {
+					lowlink[v] = indexOf[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is done: pop frame, propagate lowlink, maybe emit SCC.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == indexOf[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// witnessCycle finds a shortest cycle within one SCC by BFS from each of a
+// few members, restricted to SCC-internal edges.
+func witnessCycle(adj [][]intEdge, scc []int) (Cycle, bool) {
+	inSCC := map[int]bool{}
+	for _, v := range scc {
+		inSCC[v] = true
+	}
+	starts := scc
+	if len(starts) > 8 {
+		starts = starts[:8]
+	}
+	var best []Edge
+	for _, src := range starts {
+		// BFS for the shortest path src -> ... -> src.
+		type hop struct {
+			prev int // index into visitOrder, -1 for roots
+			edge Edge
+			node int
+		}
+		visited := map[int]int{} // node -> index into order
+		var order []hop
+		frontier := []int{}
+		for _, ie := range adj[src] {
+			if !inSCC[ie.to] {
+				continue
+			}
+			if ie.to == src {
+				return Cycle{Edges: []Edge{ie.e}}, true
+			}
+			if _, ok := visited[ie.to]; ok {
+				continue
+			}
+			visited[ie.to] = len(order)
+			order = append(order, hop{prev: -1, edge: ie.e, node: ie.to})
+			frontier = append(frontier, len(order)-1)
+		}
+		found := -1
+		var closing Edge
+		for len(frontier) > 0 && found < 0 {
+			var nextFrontier []int
+			for _, oi := range frontier {
+				v := order[oi].node
+				for _, ie := range adj[v] {
+					if !inSCC[ie.to] {
+						continue
+					}
+					if ie.to == src {
+						found = oi
+						closing = ie.e
+						break
+					}
+					if _, ok := visited[ie.to]; ok {
+						continue
+					}
+					visited[ie.to] = len(order)
+					order = append(order, hop{prev: oi, edge: ie.e, node: ie.to})
+					nextFrontier = append(nextFrontier, len(order)-1)
+				}
+				if found >= 0 {
+					break
+				}
+			}
+			frontier = nextFrontier
+		}
+		if found < 0 {
+			continue
+		}
+		var path []Edge
+		for oi := found; oi >= 0; oi = order[oi].prev {
+			path = append(path, order[oi].edge)
+		}
+		// path is reversed (last hop first); flip and append the closer.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		path = append(path, closing)
+		if best == nil || len(path) < len(best) {
+			best = path
+		}
+		if len(best) == 2 {
+			break
+		}
+	}
+	if best == nil {
+		return Cycle{}, false
+	}
+	return Cycle{Edges: best}, true
+}

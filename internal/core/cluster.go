@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"xenic/internal/check"
 	"xenic/internal/fault"
 	"xenic/internal/hostrt"
 	"xenic/internal/membership"
@@ -36,6 +37,7 @@ type Cluster struct {
 
 	inj    *fault.Injector // nil unless Config.Faults is set
 	tracer *trace.Tracer   // nil unless SetTracer attached one
+	hist   *check.History  // nil unless SetHistory attached one
 }
 
 // primaryNode is the node currently serving shard s.

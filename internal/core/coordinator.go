@@ -34,13 +34,14 @@ const (
 // ctxn is one in-flight transaction's coordinator state, resident in
 // SmartNIC memory.
 type ctxn struct {
-	id      uint64
-	desc    *txnmodel.TxnDesc
-	phase   phase
-	phaseAt sim.Time // when the current phase began (latency accounting)
-	epoch   int      // bumped on every phase change; watchdog progress marker
-	failed  wire.Status
-	dead    bool // view change aborted this transaction; drop stragglers
+	id       uint64
+	desc     *txnmodel.TxnDesc
+	phase    phase
+	phaseAt  sim.Time // when the current phase began (latency accounting)
+	openedAt sim.Time // when the transaction opened (history recording)
+	epoch    int      // bumped on every phase change; watchdog progress marker
+	failed   wire.Status
+	dead     bool // view change aborted this transaction; drop stragglers
 
 	reads     map[uint64]wire.KV // accumulated read values (all shards)
 	readOrder []uint64           // fn-input key order across execution rounds
@@ -104,9 +105,44 @@ func (n *Node) coordStart(c *nicrt.Core, m *wire.TxnRequest) {
 
 	// Coordinator-local B+tree blind writes (TPC-C order/order-line
 	// inserts, district updates) are locked and version-checked in the NIC
-	// index here; the host observed their versions during generation and
-	// their values never need a NIC lookup.
-	var btreeLocked []uint64
+	// index here; their values never need a NIC lookup.
+	n.lockBlindBTree(c, t, func() {
+		if t.failed != wire.StatusOK {
+			n.abortTxn(c, t)
+			return
+		}
+		if n.cl.cfg.Features.MultiHopOCC && t.desc.NICExec && t.desc.FnID != 0 {
+			if dst, ok := n.shipTarget(t.desc); ok {
+				n.shipTxn(c, t, dst)
+				return
+			}
+		}
+		n.execRound(c, t, t.desc.ReadKeys, n.hashWriteKeys(t.desc))
+	})
+}
+
+// btreeVerifyBytes is the DMA payload for re-reading a B+tree row header
+// (key + version) from host memory when the NIC index no longer tracks the
+// key.
+const btreeVerifyBytes = 32
+
+// lockBlindBTree locks t's coordinator-local B+tree blind-write keys in the
+// NIC index and validates the versions the host observed at generation
+// time. The index is authoritative only while a lock or a commit pin keeps
+// the entry resident; once the host applies the logged write the entry is
+// dropped, so for untracked keys the NIC must DMA-read the row header from
+// the host B+tree. Trusting the generation-time observation there loses
+// updates: a concurrent writer may have committed and been applied since
+// the host read the row. Calls then once every key is locked and verified
+// (t.failed holds the first failure).
+func (n *Node) lockBlindBTree(c *nicrt.Core, t *ctxn, then func()) {
+	pending := 1
+	finish := func() {
+		pending--
+		if pending == 0 && !t.dead {
+			then()
+		}
+	}
 	for _, kv := range t.desc.BlindWrites {
 		if !n.place().IsBTree(kv.Key) {
 			continue
@@ -115,32 +151,38 @@ func (n *Node) coordStart(c *nicrt.Core, m *wire.TxnRequest) {
 		if n.primaryNode(shard) != n.id {
 			panic("core: B+tree key on a remote shard")
 		}
-		idx := n.prim(shard).index
+		p := n.prim(shard)
 		n.chargeIndexOps(c, 1)
-		if !idx.TryLock(kv.Key, t.id) {
+		if !p.index.TryLock(kv.Key, t.id) {
 			t.failed = wire.StatusAbortLocked
 		} else {
-			btreeLocked = append(btreeLocked, kv.Key)
 			t.locked[shard] = append(t.locked[shard], kv.Key)
 		}
-		if v, known := idx.VersionOf(kv.Key); known && v != kv.Version {
-			t.failed = wire.StatusAbortVersion
-		}
 		t.reads[kv.Key] = wire.KV{Key: kv.Key, Version: kv.Version}
-	}
-	_ = btreeLocked
-	if t.failed != wire.StatusOK {
-		n.abortTxn(c, t)
-		return
-	}
-
-	if n.cl.cfg.Features.MultiHopOCC && t.desc.NICExec && t.desc.FnID != 0 {
-		if dst, ok := n.shipTarget(t.desc); ok {
-			n.shipTxn(c, t, dst)
-			return
+		if t.failed != wire.StatusOK {
+			continue
 		}
+		if v, known := p.index.VersionOf(kv.Key); known {
+			if v != kv.Version {
+				t.failed = wire.StatusAbortVersion
+			}
+			continue
+		}
+		kv := kv
+		pending++
+		c.DMARead([]int{btreeVerifyBytes}, func() {
+			if t.dead {
+				return
+			}
+			_, ver, ok := p.data.Read(kv.Key)
+			if stale := ok && ver != kv.Version || !ok && kv.Version != 0; stale &&
+				t.failed == wire.StatusOK {
+				t.failed = wire.StatusAbortVersion
+			}
+			finish()
+		})
 	}
-	n.execRound(c, t, t.desc.ReadKeys, n.hashWriteKeys(t.desc))
+	finish()
 }
 
 // hashWriteKeys lists the write keys that live in the partitioned hash
@@ -442,6 +484,10 @@ func (n *Node) keyLocked(t *ctxn, key uint64) bool {
 // their single read is already atomic.
 func (n *Node) validate(c *nicrt.Core, t *ctxn) {
 	n.setPhase(t, phValidate)
+	if mutSkipValidation {
+		n.afterValidate(c, t)
+		return
+	}
 	writeKeys := map[uint64]bool{}
 	for _, kv := range t.writes {
 		writeKeys[kv.Key] = true
@@ -526,6 +572,7 @@ func (n *Node) coordValidatePart(c *nicrt.Core, t *ctxn, st wire.Status) {
 func (n *Node) afterValidate(c *nicrt.Core, t *ctxn) {
 	if len(t.writes) == 0 {
 		// Read-only transaction completes after validation (§4.2 step 5).
+		n.recordCommit(t, nil)
 		n.finishTxn(c, t, wire.StatusOK)
 		n.closeTxn(t, wire.StatusOK)
 		delete(n.ctxns, t.id)
@@ -538,6 +585,9 @@ func (n *Node) afterValidate(c *nicrt.Core, t *ctxn) {
 // write shard (§4.2 step 5).
 func (n *Node) logPhase(c *nicrt.Core, t *ctxn) {
 	n.setPhase(t, phLog)
+	if mutUnlockBeforeLog {
+		n.mutReleaseLocks(c, t)
+	}
 	byShard := groupByShard(n.place(), t.writes)
 	t.pending = 0
 	for _, sw := range byShard {
@@ -615,6 +665,7 @@ func (n *Node) notifyLogCommits(c *nicrt.Core, txn uint64, writes []wire.KV) {
 // committed reports the outcome to the host, then applies the write set at
 // each primary (§4.2 step 6). The commit phase is off the latency path.
 func (n *Node) committed(c *nicrt.Core, t *ctxn) {
+	n.recordCommit(t, t.writes)
 	n.finishTxn(c, t, wire.StatusOK)
 	n.notifyLogCommits(c, t.id, t.writes)
 	n.setPhase(t, phCommit)
@@ -682,6 +733,7 @@ func (n *Node) abortTxn(c *nicrt.Core, t *ctxn) {
 			LockedKeys: keys,
 		})
 	}
+	n.recordAbort(t, t.failed)
 	n.traceAbort(t)
 	n.finishTxn(c, t, t.failed)
 	n.closeTxn(t, t.failed)
@@ -728,10 +780,16 @@ func (n *Node) checkWatchdog(id uint64, epoch int, d sim.Time) {
 	}
 	n.nic.Inject(n.nic.CoreFor(id), func(c *nicrt.Core) {
 		t, ok := n.ctxns[id]
-		if !ok || t.dead || t.epoch != epoch {
+		if !ok || t.dead {
 			return
 		}
-		if t.phase != phExecute && t.phase != phValidate {
+		if t.epoch != epoch || (t.phase != phExecute && t.phase != phValidate) {
+			// The transaction progressed between the expiry check and this
+			// core injection (e.g. a shipped result or validate ack landed
+			// first). Progress must re-arm, not kill, the watchdog chain: a
+			// later execution round can park in EXECUTE/VALIDATE again.
+			epoch := t.epoch
+			n.cl.eng.After(d, func() { n.checkWatchdog(id, epoch, d) })
 			return
 		}
 		n.stats.Timeouts[t.phase]++
@@ -874,6 +932,7 @@ func (n *Node) coordShipResult(c *nicrt.Core, m *wire.ShipResult) {
 	if m.Status != wire.StatusOK {
 		n.unlockLocalSet(c, t)
 		t.failed = m.Status
+		n.recordAbort(t, m.Status)
 		n.traceAbort(t)
 		n.finishTxn(c, t, m.Status)
 		n.closeTxn(t, m.Status)
@@ -916,6 +975,7 @@ func (n *Node) maybeFinishShipped(c *nicrt.Core, t *ctxn) {
 		t.reads[kv.Key] = kv
 	}
 	t.nicExec = true // results return with TxnDone
+	n.recordCommit(t, t.shipped.Writes)
 	n.finishTxn(c, t, wire.StatusOK)
 	n.notifyLogCommits(c, t.id, t.shipped.Writes)
 
@@ -971,6 +1031,18 @@ func (n *Node) coordLocalCommit(c *nicrt.Core, m *wire.TxnRequest) {
 	}
 	n.ctxns[t.id] = t
 	n.openTxn(t)
+	if n.cl.hist != nil {
+		// The request carries the versions the host fast path observed; stash
+		// them as the transaction's read set so its history record is
+		// complete. Recording only — versionBasis is never consulted on this
+		// path, so behavior is unchanged.
+		for _, rv := range m.LocalReadVers {
+			t.reads[rv.Key] = wire.KV{Key: rv.Key, Version: rv.Version}
+		}
+		for _, kv := range m.WriteSet {
+			t.reads[kv.Key] = wire.KV{Key: kv.Key, Version: kv.Version}
+		}
+	}
 
 	abort := func(st wire.Status) {
 		t.failed = st
@@ -993,35 +1065,76 @@ func (n *Node) coordLocalCommit(c *nicrt.Core, m *wire.TxnRequest) {
 	}
 
 	// Validate: the NIC index is authoritative for versions it knows
-	// (committed-but-unapplied writes are pinned there); otherwise the
-	// host-observed version stands.
-	check := func(key uint64, ver uint64) bool {
+	// (committed-but-unapplied writes are pinned there); keys it no longer
+	// tracks are re-read from the authoritative host store. The versions
+	// the host observed are from submit time and may predate a commit that
+	// has been applied since — trusting them unchecked loses updates.
+	failed := wire.StatusOK
+	fail := func(st wire.Status) {
+		if failed == wire.StatusOK {
+			failed = st
+		}
+	}
+	pending := 1
+	finish := func() {
+		pending--
+		if pending != 0 || t.dead {
+			return
+		}
+		if failed != wire.StatusOK {
+			abort(failed)
+			return
+		}
+		writes := make([]wire.KV, len(m.WriteSet))
+		for i, kv := range m.WriteSet {
+			writes[i] = wire.KV{Key: kv.Key, Version: kv.Version + 1, Value: kv.Value}
+		}
+		t.writes = writes
+		n.logPhase(c, t)
+	}
+	check := func(key uint64, ver uint64) {
 		s := n.place().ShardOf(key)
 		idx := n.prim(s).index
 		if idx.IsLocked(key, t.id) {
-			return false
+			fail(wire.StatusAbortVersion)
+			return
 		}
-		if v, known := idx.VersionOf(key); known && v != ver {
-			return false
+		if v, known := idx.VersionOf(key); known {
+			if v != ver {
+				fail(wire.StatusAbortVersion)
+			}
+			return
 		}
-		return true
+		pending++
+		if n.place().IsBTree(key) {
+			c.DMARead([]int{btreeVerifyBytes}, func() {
+				if t.dead {
+					return
+				}
+				_, v, ok := n.prim(s).data.Read(key)
+				if ok && v != ver || !ok && ver != 0 {
+					fail(wire.StatusAbortVersion)
+				}
+				finish()
+			})
+			return
+		}
+		n.lookupAsync(c, s, key, func(res nicindex.Result) {
+			if t.dead {
+				return
+			}
+			if res.Version != ver {
+				fail(wire.StatusAbortVersion)
+			}
+			finish()
+		})
 	}
 	n.chargeIndexOps(c, len(m.LocalReadVers)+len(m.WriteSet))
 	for _, rv := range m.LocalReadVers {
-		if !check(rv.Key, rv.Version) {
-			abort(wire.StatusAbortVersion)
-			return
-		}
+		check(rv.Key, rv.Version)
 	}
-	writes := make([]wire.KV, len(m.WriteSet))
-	for i, kv := range m.WriteSet {
-		s := n.place().ShardOf(kv.Key)
-		if v, known := n.prim(s).index.VersionOf(kv.Key); known && v != kv.Version {
-			abort(wire.StatusAbortVersion)
-			return
-		}
-		writes[i] = wire.KV{Key: kv.Key, Version: kv.Version + 1, Value: kv.Value}
+	for _, kv := range m.WriteSet {
+		check(kv.Key, kv.Version)
 	}
-	t.writes = writes
-	n.logPhase(c, t)
+	finish()
 }

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/check"
+	"xenic/internal/sim"
+	"xenic/internal/store/btree"
+	"xenic/internal/wire"
+)
+
+// This file wires the transaction-history recorder (internal/check,
+// DESIGN.md §9) into the Xenic cluster. Recording is pure Go-side
+// bookkeeping at the protocol decision points — the commit point, the abort
+// decision, the recovery decision, and the ship target's write-set
+// computation. It schedules no events, charges no simulated time, and sends
+// no messages, so a run with a History attached is byte-identical to one
+// without.
+
+// SetHistory attaches a transaction-history recorder (nil disables
+// recording). Call after New and before Start so every transaction outcome
+// is captured. Prefer xenic.WithHistory at construction.
+func (cl *Cluster) SetHistory(h *check.History) { cl.hist = h }
+
+// History returns the attached recorder (nil when recording is off).
+func (cl *Cluster) History() *check.History { return cl.hist }
+
+// recordCommit appends t's committed outcome: the observed read set and the
+// write set with the versions the commit installs. Called exactly once per
+// committed coordinated transaction, at its commit point.
+func (n *Node) recordCommit(t *ctxn, writes []wire.KV) {
+	h := n.cl.hist
+	if h == nil {
+		return
+	}
+	h.Add(check.TxnRecord{
+		ID:      t.id,
+		Node:    n.id,
+		Status:  wire.StatusOK,
+		Start:   t.openedAt,
+		End:     n.cl.eng.Now(),
+		Reads:   check.Reads(t.reads),
+		Writes:  check.Writes(writes),
+		Shipped: t.phase == phShipped,
+		ShipTo:  t.shipTo,
+	})
+}
+
+// recordAbort appends t's aborted outcome (reads kept for diagnostics).
+func (n *Node) recordAbort(t *ctxn, st wire.Status) {
+	h := n.cl.hist
+	if h == nil {
+		return
+	}
+	h.Add(check.TxnRecord{
+		ID:     t.id,
+		Node:   n.id,
+		Status: st,
+		Start:  t.openedAt,
+		End:    n.cl.eng.Now(),
+		Reads:  check.Reads(t.reads),
+	})
+}
+
+// recordHostLocal appends an outcome decided entirely at the host (the
+// read-only fast path of §4.2.4, which never creates a ctxn).
+func (n *Node) recordHostLocal(tx *appTxn, st wire.Status, reads []wire.KeyVer, now sim.Time) {
+	h := n.cl.hist
+	if h == nil {
+		return
+	}
+	h.Add(check.TxnRecord{
+		ID:     tx.id,
+		Node:   n.id,
+		Status: st,
+		Start:  tx.start,
+		End:    now,
+		Reads:  check.KeyVers(reads),
+	})
+}
+
+// recordRecovered appends the synthetic record emitted when recovery commits
+// a dead coordinator's transaction from its replicated log records; the
+// checker merges it with any other record of the same id.
+func (n *Node) recordRecovered(txn uint64, writes []wire.KV) {
+	h := n.cl.hist
+	if h == nil {
+		return
+	}
+	h.Add(check.TxnRecord{
+		ID:        txn,
+		Node:      n.id,
+		Status:    wire.StatusOK,
+		End:       n.cl.eng.Now(),
+		Recovered: true,
+		Writes:    check.Writes(writes),
+	})
+}
+
+// recordShip appends the ship target's shadow of a shipped execution.
+func (n *Node) recordShip(txn uint64, coord int, writes []wire.KV) {
+	h := n.cl.hist
+	if h == nil {
+		return
+	}
+	h.AddShip(check.ShipRecord{
+		Txn:    txn,
+		Origin: coord,
+		Target: n.id,
+		Writes: check.Writes(writes),
+	})
+}
+
+// AuditHistory cross-checks the drained cluster's final state against the
+// recorded history: no orphan locks, every store version matches the last
+// committed writer, log records consistent with the committed set, and
+// shipped results consistent between origin and ship target. Call only
+// after a successful Drain; returns nil when no history is attached.
+func (cl *Cluster) AuditHistory() error {
+	h := cl.hist
+	if h == nil {
+		return nil
+	}
+	if err := h.ShipConsistent(); err != nil {
+		return err
+	}
+	committed := h.CommittedIDs()
+	last := h.LastVersions()
+	for _, n := range cl.nodes {
+		if !n.alive {
+			continue
+		}
+		var shards []int
+		for s := range n.prims {
+			shards = append(shards, s)
+		}
+		sortInts(shards)
+		for _, s := range shards {
+			p := n.prims[s]
+			var lockErr error
+			p.index.ForEachLocked(func(key, owner uint64) {
+				if lockErr == nil {
+					lockErr = fmt.Errorf("audit: node %d shard %d: orphan lock on key %d held by txn %#x after drain",
+						n.id, s, key, owner)
+				}
+			})
+			if lockErr != nil {
+				return lockErr
+			}
+			if err := auditStore(fmt.Sprintf("node %d primary of shard %d", n.id, s), p.data, last); err != nil {
+				return err
+			}
+		}
+		var bshards []int
+		for s := range n.backups {
+			bshards = append(bshards, s)
+		}
+		sortInts(bshards)
+		for _, s := range bshards {
+			// Only audit backups of shards whose serving primary survived:
+			// a shard that lost every replica may legitimately lag.
+			if !cl.nodes[cl.primaryNode(s)].alive {
+				continue
+			}
+			if err := auditStore(fmt.Sprintf("node %d backup of shard %d", n.id, s), n.backups[s], last); err != nil {
+				return err
+			}
+		}
+		for i := range n.log.records {
+			r := &n.log.records[i]
+			if r.committed && r.dropped {
+				return fmt.Errorf("audit: node %d log seq %d: record for txn %#x both committed and dropped",
+					n.id, r.seq, r.txn)
+			}
+			if r.committed && !committed[r.txn] {
+				return fmt.Errorf("audit: node %d log seq %d: commit-marked record for txn %#x absent from committed history",
+					n.id, r.seq, r.txn)
+			}
+			if r.dropped && committed[r.txn] {
+				return fmt.Errorf("audit: node %d log seq %d: dropped record for committed txn %#x",
+					n.id, r.seq, r.txn)
+			}
+		}
+	}
+	// Reverse direction: every committed write must be present at its
+	// shard's serving primary, at exactly the installed version.
+	keys := make([]uint64, 0, len(last))
+	for k := range last {
+		keys = append(keys, k)
+	}
+	sortUint64s(keys)
+	for _, key := range keys {
+		s := cl.place.ShardOf(key)
+		pn := cl.nodes[cl.primaryNode(s)]
+		if !pn.alive {
+			continue // shard lost every replica
+		}
+		p := pn.prim(s)
+		if p == nil {
+			return fmt.Errorf("audit: shard %d: view primary %d does not serve it", s, pn.id)
+		}
+		_, ver, okRead := p.data.Read(key)
+		if !okRead || ver != last[key] {
+			return fmt.Errorf("audit: shard %d at node %d: committed key %d should be at version %d, store has %d (present=%v)",
+				s, pn.id, key, last[key], ver, okRead)
+		}
+	}
+	return nil
+}
+
+// auditStore checks one replica: every stored version either matches the
+// last committed writer of its key or predates any committed write (the
+// populate version is 1).
+func auditStore(where string, d *ShardData, last map[uint64]uint64) error {
+	var err error
+	bad := func(key, version uint64) error {
+		return fmt.Errorf("audit: %s: key %d at version %d, last committed writer installed %d",
+			where, key, version, last[key])
+	}
+	d.Hash.ForEach(func(key uint64, version uint64, value []byte) bool {
+		if want, ok := last[key]; ok && version != want || !ok && version > 1 {
+			err = bad(key, version)
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	d.BTree.AscendRange(0, ^uint64(0), func(it btree.Item) bool {
+		if want, ok := last[it.Key]; ok && it.Version != want || !ok && it.Version > 1 {
+			err = bad(it.Key, it.Version)
+			return false
+		}
+		return true
+	})
+	return err
+}

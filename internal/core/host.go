@@ -243,6 +243,7 @@ func (n *Node) submitLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
 			t.Charge(fn.HostCost)
 			res := fn.Run(d.State, reads)
 			if res.Abort {
+				n.recordHostLocal(tx, wire.StatusAbortMissing, nil, t.Now())
 				n.completeTxn(t, at, tx, wire.StatusAbortMissing, nil)
 				return
 			}
@@ -273,10 +274,12 @@ func (n *Node) submitLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
 			t.Charge(n.cl.cfg.Params.HostStoreOp)
 			_, ver, _ := n.prim(n.place().ShardOf(rv.Key)).data.Read(rv.Key)
 			if ver != rv.Version {
+				n.recordHostLocal(tx, wire.StatusAbortVersion, readVers, t.Now())
 				n.retryTxn(t, at, tx, wire.StatusAbortVersion)
 				return
 			}
 		}
+		n.recordHostLocal(tx, wire.StatusOK, readVers, t.Now())
 		n.completeTxn(t, at, tx, wire.StatusOK, reads)
 		return
 	}

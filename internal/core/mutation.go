@@ -1,0 +1,58 @@
+package core
+
+import (
+	"xenic/internal/nicrt"
+	"xenic/internal/wire"
+)
+
+// Deliberately broken protocol variants for mutation-testing the
+// serializability checker (internal/check): each flips one protocol rule
+// whose violation the checker must catch with a witness cycle. Like
+// debugTxn, these are package-level knobs toggled only from same-package
+// tests; every production path sees them false.
+var (
+	// mutSkipValidation commits without re-checking read-set versions
+	// (§4.2 step 4 removed): concurrent writers between read and commit go
+	// unnoticed.
+	mutSkipValidation bool
+	// mutUnlockBeforeLog releases every lock when entering the log phase,
+	// before the write set is durable or applied: a concurrent transaction
+	// can read the pre-commit version, validate successfully, and install
+	// the same successor version (a classic lost update).
+	mutUnlockBeforeLog bool
+	// mutStaleIndexRead skips the NIC-index update on commit, leaving
+	// cached entries serving pre-commit versions and values to later reads
+	// and validations.
+	mutStaleIndexRead bool
+)
+
+// mutReleaseLocks force-releases every lock t holds (the unlock-before-log
+// mutant): local locks through the index, remote ones via ABORT messages
+// (whose handler uses the tolerant UnlockIf, as does the later COMMIT).
+// t.locked is cleared so the commit fan-out does not unlock again.
+func (n *Node) mutReleaseLocks(c *nicrt.Core, t *ctxn) {
+	var shards []int
+	for s := range t.locked {
+		shards = append(shards, s)
+	}
+	sortInts(shards)
+	for _, s := range shards {
+		keys := t.locked[s]
+		if len(keys) == 0 {
+			continue
+		}
+		dst := n.primaryNode(s)
+		if dst == n.id {
+			idx := n.prim(s).index
+			for _, k := range keys {
+				idx.Unlock(k, t.id)
+			}
+			continue
+		}
+		c.Send(dst, &wire.Abort{
+			Header:     wire.Header{TxnID: t.id, Src: uint8(n.id)},
+			LockedKeys: keys,
+		})
+	}
+	t.locked = map[int][]uint64{}
+}

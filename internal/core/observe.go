@@ -105,6 +105,7 @@ func (n *Node) hookIndex(shard int, idx *nicindex.Index) {
 func (n *Node) openTxn(t *ctxn) {
 	now := n.cl.eng.Now()
 	t.phaseAt = now
+	t.openedAt = now
 	if tr := n.tr(); tr.Enabled() {
 		tr.BeginAsync("txn", "txn", t.id, n.id, now, nil)
 		tr.BeginAsync("phase", t.phase.String(), t.id, n.id, now, nil)

@@ -151,6 +151,7 @@ func (n *Node) abortInFlight(c *nicrt.Core, v membership.View) {
 				}
 			}
 		}
+		n.recordAbort(t, t.failed)
 		n.traceAbort(t)
 		n.finishTxn(c, t, t.failed)
 		n.closeTxn(t, t.failed)
@@ -388,6 +389,7 @@ func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
 			// Promotion scan: the fresh index holds no locks for it.
 			unlock = []uint64{}
 		}
+		n.recordRecovered(r.txn, r.writes)
 		n.log.markCommitted(r.txn, r.shard)
 		n.commitShard(c, r.shard, r.txn, r.writes, unlock, func() {})
 		n.wakeWorkers()

@@ -234,13 +234,15 @@ func (n *Node) commitShard(c *nicrt.Core, shard int, txn uint64, writes []wire.K
 	}
 	n.chargeIndexOps(c, len(writes))
 	pinned := make([]uint64, 0, len(writes))
-	for _, kv := range writes {
-		if n.place().IsBTree(kv.Key) {
-			p.index.ApplyCommitMeta(kv.Key, kv.Version)
-		} else {
-			p.index.ApplyCommit(kv.Key, kv.Value, kv.Version)
+	if !mutStaleIndexRead {
+		for _, kv := range writes {
+			if n.place().IsBTree(kv.Key) {
+				p.index.ApplyCommitMeta(kv.Key, kv.Version)
+			} else {
+				p.index.ApplyCommit(kv.Key, kv.Value, kv.Version)
+			}
+			pinned = append(pinned, kv.Key)
 		}
-		pinned = append(pinned, kv.Key)
 	}
 	n.appendLog(c, recCommit, txn, shard, writes, func(seq uint64) {
 		n.pins[seq] = pinned
@@ -384,6 +386,7 @@ func (n *Node) handleShipExec(c *nicrt.Core, src int, m *wire.ShipExec) {
 		}
 		writes := append(res.Writes, m.WriteSet...)
 		versionWrites(writes, reads)
+		n.recordShip(m.TxnID, coord, writes)
 		n.remoteLocks[m.TxnID] = locked
 
 		// Fan out LOG requests for every write shard's backups; acks flow

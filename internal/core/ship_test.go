@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"xenic/internal/check"
+	"xenic/internal/fault"
+	"xenic/internal/sim"
+	"xenic/internal/txnmodel"
+	"xenic/internal/wire"
+)
+
+// shipGen generates only single-remote-node update transactions, so every
+// coordinated transaction is eligible for function shipping (§4.2.3).
+// Built for 4-node clusters, like kvGen's locality mode.
+type shipGen struct{ kvGen }
+
+func (g *shipGen) Next(node, thread int, rng *rand.Rand) *txnmodel.TxnDesc {
+	nodes := g.keysNodes()
+	k := uint64(rng.Intn(g.keys))
+	k = k - k%uint64(nodes) + uint64((node+1)%nodes)
+	if k >= uint64(g.keys) {
+		k = uint64((node + 1) % nodes)
+	}
+	st := make([]byte, 2)
+	binary.LittleEndian.PutUint16(st, 1)
+	return &txnmodel.TxnDesc{
+		NICExec:    true,
+		UpdateKeys: []uint64{k},
+		FnID:       fnIncr,
+		State:      st,
+	}
+}
+
+// TestDelayedShipDoesNotTimeoutAbort pins the watchdog's shipped-phase
+// contract: a slow ship target (all its NIC cores stalled well past the
+// transaction timeout) must never cause a timeout abort of a transaction
+// whose execution already committed remotely — the watchdog re-arms across
+// shipTxn/coordShipResult instead of firing. The recorded history must
+// stay serializable and ship-consistent throughout.
+func TestDelayedShipDoesNotTimeoutAbort(t *testing.T) {
+	g := &shipGen{kvGen{keys: 400, keysPer: 1}}
+	cfg := testConfig(4, AllFeatures())
+	cfg.Seed = 31
+	plan := &fault.Plan{TxnTimeout: 100 * sim.Microsecond}
+	for core := 0; core < cfg.NICCores; core++ {
+		plan.CoreStalls = append(plan.CoreStalls, fault.CoreStall{
+			Node: 1, Core: core, At: 1 * sim.Millisecond, Dur: 600 * sim.Microsecond,
+		})
+	}
+	cfg.Faults = plan
+	cl, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := check.NewHistory()
+	cl.SetHistory(h)
+	cl.Start()
+	cl.Run(3 * sim.Millisecond)
+	if !cl.Drain(500 * sim.Millisecond) {
+		t.Fatal("cluster did not drain")
+	}
+
+	shipped, outlived := 0, false
+	for _, r := range h.Records() {
+		if !r.Shipped || r.Status != wire.StatusOK {
+			continue
+		}
+		shipped++
+		if r.End-r.Start > plan.TxnTimeoutOrDefault() {
+			outlived = true
+		}
+	}
+	if shipped == 0 {
+		t.Fatal("no transaction committed via shipping")
+	}
+	if !outlived {
+		t.Fatal("stall ineffective: no shipped commit outlived the watchdog deadline")
+	}
+	for _, n := range cl.nodes {
+		if n.stats.Timeouts[phShipped] != 0 {
+			t.Fatalf("node %d: watchdog fired %d timeout aborts in the shipped phase",
+				n.id, n.stats.Timeouts[phShipped])
+		}
+	}
+	if rep := h.Check(); !rep.Ok() {
+		t.Fatalf("delayed ship broke serializability:\n%s", rep.String())
+	}
+	if err := cl.AuditHistory(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"fmt"
+
+	"xenic/internal/baseline"
+	"xenic/internal/check"
+	"xenic/internal/core"
+	"xenic/internal/fault"
+	"xenic/internal/sim"
+	"xenic/internal/txnmodel"
+	"xenic/internal/workload/smallbank"
+	"xenic/internal/workload/tpcc"
+)
+
+// checksweep drives Xenic and all four baselines over a grid of seeds,
+// read-write workloads, and fault plans, recording every transaction into
+// a check.History. Each cell must produce a serializable dependency graph
+// (no cycles, no anomalies) and pass the system's drain-time state audit
+// (no orphan locks, store versions matching the last committed writer).
+// It is the paper's correctness claim — "Xenic preserves serializability"
+// (§4) — as an executable sweep, not a benchmark.
+
+func init() {
+	register(&Experiment{
+		ID:       "checksweep",
+		Title:    "Serializability checker + state audit across systems, workloads, faults",
+		PaperRef: "DESIGN.md §9: history checking vs the §4 serializability claim",
+		Run:      runChecksweep,
+	})
+}
+
+func runChecksweep(opt Options) *Report {
+	const nodes = 4
+	seeds := 3
+	runFor := 3 * sim.Millisecond
+	if opt.Quick {
+		seeds = 1
+	}
+
+	workloads := []string{"tpcc", "smallbank"}
+	// Baselines only model network faults, so the faulty column injects a
+	// lossy, duplicating network everywhere and adds NIC/DMA chaos (random
+	// plan: crashes, stalls, partitions) on the Xenic cells only.
+	netPlan, err := fault.Parse("drop=0.02,dup=0.01")
+	if err != nil {
+		panic(err)
+	}
+	plans := []string{"none", "faulty"}
+	systems := []string{"xenic", baseline.DrTMH.String(), baseline.DrTMHNC.String(),
+		baseline.FaSST.String(), baseline.DrTMR.String()}
+
+	type outcome struct {
+		txns int
+		err  error
+	}
+	perSeed := len(workloads) * len(plans) * len(systems)
+	cellAt := func(seed, w, p, s int) int {
+		return ((seed*len(workloads)+w)*len(plans)+p)*len(systems) + s
+	}
+	outcomes := runCells(opt, seeds*perSeed, func(i int, o Options) outcome {
+		s := i % len(systems)
+		p := i / len(systems) % len(plans)
+		w := i / (len(systems) * len(plans)) % len(workloads)
+		seed := o.Seed + int64(i/perSeed)
+
+		var gen txnmodel.Generator
+		if workloads[w] == "tpcc" {
+			g := tpcc.New()
+			g.WarehousesPerServer = 2
+			gen = g
+		} else {
+			g := smallbank.New()
+			g.AccountsPerServer = 2000
+			gen = g
+		}
+
+		var out outcome
+		if systems[s] == "xenic" {
+			var plan *fault.Plan
+			if plans[p] == "faulty" {
+				plan = fault.RandomPlan(seed, nodes)
+			}
+			out.txns, out.err = checkXenic(seed, plan, gen, runFor)
+		} else {
+			var plan *fault.Plan
+			if plans[p] == "faulty" {
+				plan = netPlan
+			}
+			out.txns, out.err = checkBaseline(s-1, seed, plan, gen, runFor)
+		}
+		return out
+	})
+
+	r := &Report{ID: "checksweep",
+		Title: fmt.Sprintf("%d seeds x %d workloads x %d fault plans x %d systems",
+			seeds, len(workloads), len(plans), len(systems)),
+		Header: []string{"system", "workload", "faults", "txns", "result"}}
+	fails := 0
+	for s := range systems {
+		for w := range workloads {
+			for p := range plans {
+				txns, verdict := 0, "serializable, audits clean"
+				for seed := 0; seed < seeds; seed++ {
+					out := outcomes[cellAt(seed, w, p, s)]
+					txns += out.txns
+					if out.err != nil && verdict == "serializable, audits clean" {
+						fails++
+						verdict = fmt.Sprintf("seed %d: %v", opt.Seed+int64(seed), out.err)
+					}
+				}
+				r.AddRow(systems[s], workloads[w], plans[p], fmt.Sprintf("%d", txns), verdict)
+			}
+		}
+	}
+	if fails == 0 {
+		r.AddNote("every cell produced an acyclic dependency graph and a clean drain-time audit")
+	} else {
+		r.AddNote("FAILURES: %d cell group(s) violated serializability or the state audit", fails)
+	}
+	r.AddNote("sweep checks correctness only; cell throughput is not comparable to the paper's numbers")
+	return r
+}
+
+// checkXenic runs one Xenic cell with a history attached and returns the
+// committed-transaction count plus any checker/audit failure.
+func checkXenic(seed int64, plan *fault.Plan, gen txnmodel.Generator, runFor sim.Time) (int, error) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Replication = 3
+	cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 2, 4
+	cfg.Outstanding = 4
+	cfg.Seed = seed
+	cfg.Faults = plan
+	cl, err := core.New(cfg, gen)
+	if err != nil {
+		return 0, err
+	}
+	h := check.NewHistory()
+	cl.SetHistory(h)
+	cl.Start()
+	cl.Run(runFor)
+	if !cl.Drain(100 * sim.Millisecond) {
+		return h.Len(), fmt.Errorf("did not drain")
+	}
+	return h.Len(), verify(h, cl.AuditHistory)
+}
+
+// checkBaseline runs one baseline cell (sys indexes DrTMH..DrTMR) the same
+// way.
+func checkBaseline(sys int, seed int64, plan *fault.Plan, gen txnmodel.Generator, runFor sim.Time) (int, error) {
+	order := []baseline.System{baseline.DrTMH, baseline.DrTMHNC, baseline.FaSST, baseline.DrTMR}
+	cfg := baseline.DefaultConfig(order[sys])
+	cfg.Nodes = 4
+	cfg.Replication = 3
+	cfg.Threads = 4
+	cfg.Outstanding = 4
+	cfg.Seed = seed
+	cfg.Faults = plan
+	cl, err := baseline.New(cfg, gen)
+	if err != nil {
+		return 0, err
+	}
+	h := check.NewHistory()
+	cl.SetHistory(h)
+	cl.Start()
+	cl.Run(runFor)
+	if !cl.Drain(100 * sim.Millisecond) {
+		return h.Len(), fmt.Errorf("did not drain")
+	}
+	return h.Len(), verify(h, cl.AuditHistory)
+}
+
+// verify runs the serializability checker and the drain-time audit,
+// requiring a non-vacuous history.
+func verify(h *check.History, audit func() error) error {
+	if h.Len() == 0 {
+		return fmt.Errorf("history recorded nothing")
+	}
+	if err := h.Check().Err(); err != nil {
+		return err
+	}
+	return audit()
+}

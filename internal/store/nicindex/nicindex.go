@@ -270,6 +270,13 @@ func (x *Index) scan(key uint64, home int, slots []robinhood.Slot, res *Result) 
 // fill caches a value for key, evicting if needed.
 func (x *Index) fill(key uint64, value []byte, version uint64, exists bool) {
 	o := x.ensure(key)
+	if version < o.Version {
+		// DMA data lags the index whenever a commit has been applied here
+		// but not yet by the host (the entry is pinned for exactly that
+		// window): never let a stale host read regress the version the
+		// index already vouched for.
+		return
+	}
 	if !o.HasValue {
 		if x.cached >= x.capacity && !x.evict() {
 			// Nothing evictable: keep metadata only.
@@ -364,6 +371,11 @@ func (x *Index) Unlock(key, owner uint64) {
 	if x.lockTrace != nil {
 		x.lockTrace("unlock", key, owner, true)
 	}
+	if o.Pinned == 0 && !o.HasValue {
+		// Same cleanup as UnlockIf: an aborted writer's metadata-only entry
+		// has no reason to outlive its lock.
+		delete(x.objects, key)
+	}
 }
 
 // UnlockIf releases key only if owner still holds it (tolerant unlock for
@@ -424,15 +436,19 @@ func (x *Index) ForceUnlockAll() {
 func (x *Index) ApplyCommit(key uint64, value []byte, version uint64) {
 	o := x.ensure(key)
 	if !o.HasValue {
-		if x.cached < x.capacity || x.evict() {
-			x.cached++
-			x.ring = append(x.ring, key)
-			o.HasValue = true
+		if x.cached >= x.capacity {
+			// Best effort: the committed value must be retained even when
+			// nothing is evictable, or a lookup in the window before the
+			// host applies the log would DMA-read (and re-cache) the
+			// pre-commit object. The cache runs transiently over capacity
+			// until Unpin sheds the excess.
+			x.evict()
 		}
+		x.cached++
+		x.ring = append(x.ring, key)
+		o.HasValue = true
 	}
-	if o.HasValue {
-		o.Value = append(o.Value[:0], value...)
-	}
+	o.Value = append(o.Value[:0], value...)
 	o.Version = version
 	o.Exists = true
 	o.Pinned++
@@ -461,6 +477,11 @@ func (x *Index) Unpin(key uint64) {
 	o.Pinned--
 	if o.Pinned == 0 && !o.HasValue && !o.Locked {
 		delete(x.objects, key)
+		return
+	}
+	// Shed any transient overflow ApplyCommit took on while this entry was
+	// pinned at a full cache.
+	for x.cached > x.capacity && x.evict() {
 	}
 }
 
@@ -474,13 +495,16 @@ func (x *Index) VersionOf(key uint64) (uint64, bool) {
 
 // CheckInvariants validates cache bookkeeping.
 func (x *Index) CheckInvariants() error {
-	n := 0
+	n, held := 0, 0
 	for k, o := range x.objects {
 		if o.Key != k {
 			return fmt.Errorf("entry %d has key %d", k, o.Key)
 		}
 		if o.HasValue {
 			n++
+			if o.Pinned > 0 || o.Locked {
+				held++
+			}
 		}
 		if o.Pinned < 0 {
 			return fmt.Errorf("key %d pinned %d", k, o.Pinned)
@@ -489,8 +513,10 @@ func (x *Index) CheckInvariants() error {
 	if n != x.cached {
 		return fmt.Errorf("cached=%d but %d values resident", x.cached, n)
 	}
-	if x.cached > x.capacity {
-		return fmt.Errorf("cached=%d exceeds capacity=%d", x.cached, x.capacity)
+	// ApplyCommit may run transiently over capacity, but only while the
+	// overflow is covered by pinned or locked (unevictable) values.
+	if x.cached > x.capacity && x.cached-x.capacity > held {
+		return fmt.Errorf("cached=%d exceeds capacity=%d beyond the %d pinned/locked values", x.cached, x.capacity, held)
 	}
 	return nil
 }

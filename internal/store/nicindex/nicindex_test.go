@@ -310,3 +310,113 @@ func TestApplyCommitBumpsVersionEvenWithoutCacheSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestReadAbortReadSeesPreAbortVersion drives read → aborted-writer-unlock
+// → read and asserts the second read serves the pre-abort version: an
+// aborted transaction installs nothing, so its unlock must leave the cached
+// object exactly as the first read saw it.
+func TestReadAbortReadSeesPreAbortVersion(t *testing.T) {
+	host, idx := newPair(1024, 16, 256)
+	keys := load(t, host, 900, 21)
+	idx.SyncHints()
+
+	k := keys[5]
+	r1 := idx.Lookup(k)
+	if !r1.Found {
+		t.Fatalf("setup: %+v", r1)
+	}
+	writer := uint64(0xabad1dea)
+	if !idx.TryLock(k, writer) {
+		t.Fatal("lock failed")
+	}
+	// The writer aborts: lock released, nothing installed.
+	idx.Unlock(k, writer)
+
+	r2 := idx.Lookup(k)
+	if !r2.Found || !r2.CacheHit {
+		t.Fatalf("second read not served from cache: %+v", r2)
+	}
+	if r2.Version != r1.Version || string(r2.Value) != string(r1.Value) {
+		t.Fatalf("abort leaked state: read %d/%q then %d/%q",
+			r1.Version, r1.Value, r2.Version, r2.Value)
+	}
+
+	// A never-cached key locked by an aborted writer must not leave a
+	// metadata husk behind (Unlock now cleans up like UnlockIf).
+	k2 := keys[6]
+	if !idx.TryLock(k2, writer) {
+		t.Fatal("lock failed")
+	}
+	idx.Unlock(k2, writer)
+	if _, ok := idx.Meta(k2); ok {
+		t.Fatal("aborted writer left a metadata-only entry")
+	}
+	r3 := idx.Lookup(k2)
+	if !r3.Found || r3.Version != 7 {
+		t.Fatalf("read after aborted writer: %+v", r3)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitAtFullCacheServesCommittedVersion pins the stale-read bug: when
+// ApplyCommit hit a full cache with nothing evictable, it used to record
+// only the version, so a lookup in the window before the host applied the
+// log would DMA-read the pre-commit object and re-serve (and re-cache) it.
+// The committed value must win, even if the cache transiently overflows.
+func TestCommitAtFullCacheServesCommittedVersion(t *testing.T) {
+	host, idx := newPair(1024, 16, 1)
+	keys := load(t, host, 800, 22)
+	idx.SyncHints()
+
+	// Occupy and pin the only cache slot.
+	idx.Lookup(keys[0])
+	idx.ApplyCommit(keys[0], []byte("hold"), 60)
+
+	// Commit keys[1]; the host table still has the pre-commit object.
+	owner := uint64(0xc0ffee)
+	if !idx.TryLock(keys[1], owner) {
+		t.Fatal("lock failed")
+	}
+	idx.ApplyCommit(keys[1], []byte("committed"), 61)
+	idx.Unlock(keys[1], owner)
+
+	r := idx.Lookup(keys[1])
+	if !r.Found || r.Version != 61 || string(r.Value) != "committed" {
+		t.Fatalf("lookup served stale pre-commit object: %+v", r)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Once the host applies the log and unpins, the overflow is shed.
+	idx.Unpin(keys[0])
+	idx.Unpin(keys[1])
+	if idx.CachedValues() > 1 {
+		t.Fatalf("cache still over capacity after unpin: %d", idx.CachedValues())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFillCannotRegressIndexVersion: a DMA read racing a committed-but-not-
+// yet-host-applied write must not roll the index's version metadata back to
+// the host's stale one — that version is the local OCC validation basis.
+func TestFillCannotRegressIndexVersion(t *testing.T) {
+	host, idx := newPair(1024, 16, 256)
+	keys := load(t, host, 800, 23)
+	idx.SyncHints()
+
+	k := keys[2] // host holds version 3
+	idx.ApplyCommitMeta(k, 70)
+	idx.Lookup(k) // DMA-reads the stale host object
+	v, known := idx.VersionOf(k)
+	if !known || v != 70 {
+		t.Fatalf("stale DMA fill regressed version: v=%d known=%v, want 70", v, known)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

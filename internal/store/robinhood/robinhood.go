@@ -298,6 +298,10 @@ func (t *Table) appendOverflow(s Slot, home int) {
 	})
 	t.count++
 	t.stats.Overflows++
+	// When the carried element is a displaced victim (not the original
+	// key), it just left the main table, so its segment's max displacement
+	// may have dropped.
+	t.recomputeSegMax(seg)
 }
 
 // findSlot returns the main-table slot holding key, or nil.
@@ -382,11 +386,16 @@ func (t *Table) Delete(key uint64) bool {
 			break
 		}
 		if s.Key == key {
-			t.removeAt(i)
+			shifted := t.removeAt(i)
 			t.stats.Deletes++
 			t.count--
 			delete(t.large, key)
 			t.recomputeSegMax(t.SegmentOf(home))
+			for _, seg := range shifted {
+				if seg != t.SegmentOf(home) {
+					t.recomputeSegMax(seg)
+				}
+			}
 			return true
 		}
 		if s.Disp < d {
@@ -412,10 +421,14 @@ func (t *Table) Delete(key uint64) bool {
 // "swap an overflow element over the deleted element"). The pulled element
 // goes through the normal insertion path so the Robin Hood run ordering —
 // home positions non-decreasing within a probe run, which the early-stop
-// lookup rule depends on — is preserved.
-func (t *Table) removeAt(i int) {
+// lookup rule depends on — is preserved. It returns the home segments of
+// every shifted element: their displacements decreased, so the caller must
+// recompute those segments' max-displacement hints, not just the deleted
+// key's.
+func (t *Table) removeAt(i int) []int {
 	// Backward shift: move subsequent displaced elements one slot back
 	// until an empty slot or an element already at home.
+	var shifted []int
 	cur := i
 	for {
 		next := (cur + 1) & int(t.mask)
@@ -427,10 +440,12 @@ func (t *Table) removeAt(i int) {
 		moved.Disp--
 		t.slots[cur] = moved
 		t.stats.BackwardShifts++
+		shifted = append(shifted, t.SegmentOf(t.Home(moved.Key)))
 		cur = next
 	}
 	t.slots[cur] = Slot{}
 	t.promoteOverflow(i)
+	return shifted
 }
 
 // promoteOverflow re-inserts one overflow element homed near slot i, if any;
@@ -537,8 +552,23 @@ func (t *Table) CheckInvariants() error {
 		if t.dispLimited() && s.Disp >= t.cfg.MaxDisplacement {
 			return fmt.Errorf("slot %d: disp %d >= limit %d", i, s.Disp, t.cfg.MaxDisplacement)
 		}
-		if got := t.SegmentMaxDisp(t.SegmentOf(home)); s.Disp > got {
-			return fmt.Errorf("segment %d: max disp %d below resident disp %d", t.SegmentOf(home), got, s.Disp)
+	}
+	// segMax must be exact, as documented: a low hint breaks nothing (the
+	// NIC's second adjacent read covers it) but an inflated one silently
+	// widens every DMA probe read.
+	exact := make([]int, len(t.segMax))
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.Occupied {
+			continue
+		}
+		if seg := t.SegmentOf(t.Home(s.Key)); s.Disp > exact[seg] {
+			exact[seg] = s.Disp
+		}
+	}
+	for seg := range exact {
+		if t.segMax[seg] != exact[seg] {
+			return fmt.Errorf("segment %d: max disp hint %d != exact %d", seg, t.segMax[seg], exact[seg])
 		}
 	}
 	for seg, b := range t.overflow {

@@ -370,3 +370,134 @@ func BenchmarkLookup90Percent(b *testing.B) {
 		tb.Lookup(keys[i%n])
 	}
 }
+
+// keysHomedAt finds n distinct keys whose home slot is exactly home.
+func keysHomedAt(t *testing.T, tb *Table, home, n int) []uint64 {
+	t.Helper()
+	var keys []uint64
+	for v := uint64(1); len(keys) < n; v++ {
+		if tb.Home(v) == home {
+			keys = append(keys, v)
+		}
+		if v > 1<<24 {
+			t.Fatalf("could not find %d keys homed at slot %d", n, home)
+		}
+	}
+	return keys
+}
+
+// TestDeleteBackwardShiftWrapAround deletes the head of a probe run that
+// wraps past the last slot, and asserts the survivors' probe distances —
+// not just their presence — after the backward shift crosses the boundary.
+func TestDeleteBackwardShiftWrapAround(t *testing.T) {
+	tb := New(cfg(16, 8))
+	home := tb.Slots() - 2 // run occupies slots 14, 15, 0
+	keys := keysHomedAt(t, tb, home, 3)
+	for i, k := range keys {
+		if err := tb.Insert(k, []byte{byte(i)}, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if got := tb.Lookup(k).Disp; got != i {
+			t.Fatalf("key %d inserted at disp %d, want %d", k, got, i)
+		}
+	}
+	if !tb.Delete(keys[0]) {
+		t.Fatal("delete failed")
+	}
+	// The shift must pull both survivors one slot back across the wrap.
+	for i, k := range keys[1:] {
+		r := tb.Lookup(k)
+		if !r.Found || r.Disp != i {
+			t.Fatalf("after delete: key %d at disp %d (found=%v), want disp %d", k, r.Disp, r.Found, i)
+		}
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteRecomputesShiftedSegmentHints pins the stale-hint bug: a
+// backward shift that lowers the displacement of an element homed in a
+// DIFFERENT segment than the deleted key must update that segment's
+// max-displacement hint too, or every later DMA probe of the segment reads
+// more slots than needed.
+func TestDeleteRecomputesShiftedSegmentHints(t *testing.T) {
+	tb := New(cfg(32, 16))
+	// a, b homed at slot 7 (last of segment 1); c homed at slot 8
+	// (segment 2). Layout: a@7(d0) b@8(d1) c@9(d1).
+	ab := keysHomedAt(t, tb, 7, 2)
+	c := keysHomedAt(t, tb, 8, 1)[0]
+	for _, k := range []uint64{ab[0], ab[1], c} {
+		if err := tb.Insert(k, []byte("v"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := tb.Lookup(c).Disp; d != 1 {
+		t.Fatalf("setup: key c at disp %d, want 1", d)
+	}
+	if got := tb.SegmentMaxDisp(2); got != 1 {
+		t.Fatalf("setup: segment 2 hint %d, want 1", got)
+	}
+	if !tb.Delete(ab[0]) {
+		t.Fatal("delete failed")
+	}
+	// b and c each shifted home; segment 2's hint (c's home segment) must
+	// drop to 0 even though the deleted key was homed in segment 1.
+	if d := tb.Lookup(c).Disp; d != 0 {
+		t.Fatalf("key c at disp %d after shift, want 0", d)
+	}
+	if got := tb.SegmentMaxDisp(2); got != 0 {
+		t.Fatalf("segment 2 hint %d after delete, want 0 (stale hint)", got)
+	}
+	if err := tb.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeleteReinsertFullTable drives a displacement-limited table at full
+// occupancy through delete/reinsert cycles: every key must stay reachable,
+// probe distances must stay within the limit, and the exact-hint and
+// count invariants must hold at every step (overflow pages absorb what the
+// main table cannot place).
+func TestDeleteReinsertFullTable(t *testing.T) {
+	tb := New(cfg(64, 4))
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]uint64, 64) // 100% of slots: some keys must overflow
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if err := tb.Insert(keys[i], []byte("v"), uint64(i+1)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tb.Stats().Overflows == 0 {
+		t.Fatal("full table produced no overflow")
+	}
+	for round := 0; round < 3; round++ {
+		for i, k := range keys {
+			if !tb.Delete(k) {
+				t.Fatalf("round %d: delete %d failed", round, k)
+			}
+			if err := tb.CheckInvariants(); err != nil {
+				t.Fatalf("round %d after delete %d: %v", round, i, err)
+			}
+			if err := tb.Insert(k, []byte("w"), uint64(round+2)); err != nil {
+				t.Fatalf("round %d: reinsert %d: %v", round, k, err)
+			}
+			if err := tb.CheckInvariants(); err != nil {
+				t.Fatalf("round %d after reinsert %d: %v", round, i, err)
+			}
+		}
+		for _, k := range keys {
+			r := tb.Lookup(k)
+			if !r.Found {
+				t.Fatalf("round %d: key %d lost", round, k)
+			}
+			if !r.Overflow && r.Disp >= 4 {
+				t.Fatalf("round %d: key %d at disp %d beyond limit", round, k, r.Disp)
+			}
+		}
+	}
+	if tb.Len() != len(keys) {
+		t.Fatalf("len = %d, want %d", tb.Len(), len(keys))
+	}
+}

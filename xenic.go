@@ -19,6 +19,7 @@ package xenic
 
 import (
 	"xenic/internal/baseline"
+	"xenic/internal/check"
 	"xenic/internal/core"
 	"xenic/internal/fault"
 	"xenic/internal/metrics"
@@ -114,6 +115,13 @@ type System interface {
 	// RegisterMetrics registers the system's counters under reg. Prefer
 	// WithStats at construction.
 	RegisterMetrics(reg *StatsRegistry)
+	// SetHistory attaches a transaction-history recorder (nil disables
+	// recording). Call before Start. Prefer WithHistory at construction.
+	SetHistory(h *History)
+	// AuditHistory cross-checks the drained system's final state against the
+	// recorded history (orphan locks, store-vs-commit versions, log
+	// consistency). Call after a successful Drain; nil without a recorder.
+	AuditHistory() error
 }
 
 // Both cluster types satisfy System.
@@ -134,6 +142,7 @@ type Option func(*options)
 type options struct {
 	tracer    *Tracer
 	stats     *StatsRegistry
+	hist      *History
 	faults    *FaultPlan
 	setFaults bool
 }
@@ -145,6 +154,13 @@ func WithTracer(tr *Tracer) Option { return func(o *options) { o.tracer = tr } }
 // WithStats registers the system's metrics under reg (equivalent to calling
 // RegisterMetrics immediately after construction).
 func WithStats(reg *StatsRegistry) Option { return func(o *options) { o.stats = reg } }
+
+// WithHistory attaches a transaction-history recorder (equivalent to calling
+// SetHistory immediately after construction). After Drain, check the history
+// for serializability with h.Check() and cross-check final state with
+// AuditHistory. Recording never perturbs the simulation: a run with a
+// recorder attached is byte-identical to one without.
+func WithHistory(h *History) Option { return func(o *options) { o.hist = h } }
 
 // WithFaults installs the fault-injection plan (equivalent to setting
 // Config.Faults / BaselineConfig.Faults before construction). Passing nil
@@ -168,6 +184,9 @@ func (o options) apply(s System) {
 	}
 	if o.stats != nil {
 		s.RegisterMetrics(o.stats)
+	}
+	if o.hist != nil {
+		s.SetHistory(o.hist)
 	}
 }
 
@@ -264,6 +283,20 @@ type StatsRegistry = metrics.Registry
 // NewStatsRegistry returns an empty stats registry; populate it with
 // Cluster.RegisterMetrics or BaselineCluster.RegisterMetrics.
 func NewStatsRegistry() *StatsRegistry { return metrics.NewRegistry() }
+
+// History records every transaction outcome — read sets with observed
+// versions, write sets with installed versions, statuses, timestamps — for
+// offline serializability checking (DESIGN.md §9). Attach one with
+// WithHistory, run, Drain, then call Check. A nil *History is a valid
+// disabled recorder.
+type History = check.History
+
+// NewHistory returns an empty transaction-history recorder.
+func NewHistory() *History { return check.NewHistory() }
+
+// CheckReport is the outcome of a serializability check: the dependency
+// graph summary and any witness cycles found.
+type CheckReport = check.Report
 
 // FaultPlan is a deterministic fault-injection schedule: frame
 // drop/duplication/delay probabilities, network partitions, node crashes,
