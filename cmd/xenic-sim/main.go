@@ -12,6 +12,12 @@
 //
 //	xenic-sim -faults drop=0.01,dup=0.005,crash=2@4ms -ms 10
 //
+// A restart=N@TIME event reboots a previously crashed (or evicted) node
+// with wiped state: it re-registers with the cluster manager, catches up
+// via state transfer, and is re-admitted as a backup, e.g.
+//
+//	xenic-sim -faults crash=2@2ms,restart=2@6ms -ms 15
+//
 // Baselines accept only network faults (drop/dup/delay/partition).
 //
 // With -check the run records every transaction's read and write sets and,

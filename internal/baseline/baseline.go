@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"xenic/internal/fault"
+	"xenic/internal/membership"
 	"xenic/internal/metrics"
 	"xenic/internal/model"
 	"xenic/internal/sim"
@@ -80,8 +81,14 @@ type Config struct {
 	// Faults optionally attaches a deterministic fault plan: frame
 	// drop/duplication/delay and transient partitions at the fabric, plus
 	// RDMA verb timeouts. Crash and stall faults are rejected — the
-	// baselines have no membership service to recover with.
+	// baselines track membership epochs but have no recovery path to heal
+	// a dead replica with.
 	Faults *fault.Plan
+	// Membership tunes the lease service. Baselines run the same cluster
+	// manager as Xenic — leases, epochs, views — so epoch-stamped
+	// comparisons in the harness stay apples-to-apples; with no crash
+	// faults the epoch stays 0 unless a partition lapses a lease.
+	Membership membership.Config
 }
 
 // DefaultConfig mirrors the testbed.
@@ -95,6 +102,7 @@ func DefaultConfig(sys System) Config {
 		System:      sys,
 		Params:      model.Default(),
 		Seed:        1,
+		Membership:  membership.DefaultConfig(),
 	}
 }
 

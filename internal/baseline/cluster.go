@@ -6,6 +6,7 @@ import (
 	"xenic/internal/check"
 	"xenic/internal/fault"
 	"xenic/internal/hostrt"
+	"xenic/internal/membership"
 	"xenic/internal/metrics"
 	"xenic/internal/rdma"
 	"xenic/internal/sim"
@@ -29,6 +30,13 @@ type Cluster struct {
 	tracer *trace.Tracer
 	hist   *check.History // nil unless SetHistory attached one
 	loadOn bool
+
+	// mgr is the same lease-based cluster manager Xenic runs; baselines
+	// renew leases and observe epoch-stamped views so harness comparisons
+	// share membership semantics, but they never act on view changes (no
+	// promotion, no re-replication — validate rejects crash faults).
+	mgr  *membership.Manager
+	view membership.View
 }
 
 // SetTracer attaches tr to the cluster (nil disables tracing). Call after
@@ -130,11 +138,36 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 			}
 		})
 	}
+
+	// Membership: the same lease service Xenic runs, so view epochs mean
+	// the same thing across systems. A partitioned node cannot reach the
+	// manager and its lease lapses; otherwise the epoch never moves.
+	if cfg.Membership == (membership.Config{}) {
+		cfg.Membership = membership.DefaultConfig()
+		cl.cfg.Membership = cfg.Membership
+	}
+	cl.mgr = membership.New(cl.eng, cfg.Nodes, cfg.Replication, cfg.Membership)
+	cl.view = cl.mgr.View()
+	cl.mgr.OnChange(func(v membership.View) { cl.view = v })
+	for id := 0; id < cfg.Nodes; id++ {
+		id := id
+		cl.eng.Ticker(cfg.Membership.RenewPeriod, func() bool {
+			if cl.inj == nil || !cl.inj.Isolated(id) {
+				cl.mgr.Renew(id)
+			}
+			return true
+		})
+	}
+	cl.mgr.Start()
 	return cl, nil
 }
 
 // Engine exposes the simulation engine.
 func (cl *Cluster) Engine() *sim.Engine { return cl.eng }
+
+// View returns the current membership view. Baselines share Xenic's lease
+// service and epoch numbering but never react to view changes.
+func (cl *Cluster) View() membership.View { return cl.view }
 
 // Node returns node i.
 func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
@@ -256,6 +289,16 @@ func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
 		sub.RegisterFunc("rdma", func() any { return rdmaSnap(n.rnic.Stats()) })
 	}
 	agg := reg.Sub("cluster")
+	agg.RegisterFunc("membership", func() any {
+		v := cl.view
+		alive := 0
+		for _, a := range v.Alive {
+			if a {
+				alive++
+			}
+		}
+		return map[string]any{"epoch": v.Epoch, "alive": alive}
+	})
 	agg.RegisterFunc("txn", func() any {
 		var s Stats
 		for _, n := range cl.nodes {

@@ -35,6 +35,11 @@ type Cluster struct {
 	mgr  *membership.Manager
 	view membership.View
 
+	// fwdInFlight[n] counts state-transfer commit forwards sent to rejoiner
+	// n that have not yet arrived; Quiesced waits for them so a drained
+	// cluster's replicas are byte-comparable. Reset when n restarts.
+	fwdInFlight []int64
+
 	inj    *fault.Injector // nil unless Config.Faults is set
 	tracer *trace.Tracer   // nil unless SetTracer attached one
 	hist   *check.History  // nil unless SetHistory attached one
@@ -68,6 +73,7 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 		reg: txnmodel.NewRegistry(),
 	}
 	cl.nw = simnet.New(cl.eng, cfg.Params, cfg.Nodes)
+	cl.fwdInFlight = make([]int64, cfg.Nodes)
 	if cfg.Faults != nil {
 		// The injector decides every frame's fate; the liveness oracle lets
 		// the reliable transport abandon frames to or from dead nodes.
@@ -180,6 +186,10 @@ func (cl *Cluster) scheduleFaults() {
 		s := s
 		cl.eng.At(s.At, func() { cl.nodes[s.Node].nic.StallDMA(s.Dur) })
 	}
+	for _, r := range plan.Restarts {
+		r := r
+		cl.eng.At(r.At, func() { cl.Restart(r.Node) })
+	}
 }
 
 // Injector exposes the fault injector (nil on fault-free runs).
@@ -198,6 +208,48 @@ func (cl *Cluster) cacheCap() int {
 // manager reconfigures once the lease expires.
 func (cl *Cluster) Kill(id int) {
 	cl.nodes[id].alive = false
+}
+
+// Restart brings a crashed (and evicted) node back with wiped NIC and host
+// state. The node re-registers with the cluster manager, is fenced behind
+// its fresh join epoch, and re-replicates its shards from the surviving
+// primaries before re-entering the replica chains (rejoin.go). A restart
+// before the manager has evicted the node is retried after the eviction
+// view lands — a node cannot rejoin a view it never left.
+func (cl *Cluster) Restart(id int) {
+	n := cl.nodes[id]
+	if n.alive {
+		return
+	}
+	if cl.mgr.View().Alive[id] {
+		cl.eng.After(cl.cfg.Membership.CheckPeriod, func() { cl.Restart(id) })
+		return
+	}
+	// Wipe: host memory (replicas, log, coordinator and recovery state) and
+	// NIC state (dedup tables, epoch) are gone; only durable identity — the
+	// node id and its app threads' sequence counters (so retried ids stay
+	// globally unique) — survives. Stats accumulate across the restart so
+	// Measure windows keep working.
+	n.prims = map[int]*primaryShard{}
+	n.backups = map[int]*ShardData{}
+	n.log = newHostLog()
+	n.pins = map[uint64][]uint64{}
+	n.pinIdx = map[uint64]*nicindex.Index{}
+	n.ctxns = map[uint64]*ctxn{}
+	n.remoteLocks = map[uint64][]uint64{}
+	n.recov = map[txnShard]*recovering{}
+	n.pendingDecide = map[txnShard][]uint64{}
+	n.fwd = nil
+	for _, at := range n.app {
+		at.inflight = map[uint64]*appTxn{}
+		at.outstanding = 0
+		at.retryq = nil
+	}
+	n.nic.Reset()
+	cl.fwdInFlight[id] = 0
+	n.alive = true
+	n.rejoin = &rejoinState{shards: map[int]*pullState{}}
+	cl.mgr.Rejoin(id)
 }
 
 // populate loads initial records into every shard's primary and backups,
@@ -312,10 +364,18 @@ func (cl *Cluster) Quiesced() bool {
 			len(n.pins) > 0 || len(n.recov) > 0 || len(n.pendingDecide) > 0 {
 			return false
 		}
+		if n.rejoin != nil {
+			return false // restarting node still catching up
+		}
 		for _, p := range n.prims {
 			if !p.ready {
 				return false
 			}
+		}
+	}
+	for dst, cnt := range cl.fwdInFlight {
+		if cnt > 0 && cl.nodes[dst].alive {
+			return false // state-transfer forwards still in flight
 		}
 	}
 	return true

@@ -117,7 +117,7 @@ func (n *Node) coordStart(c *nicrt.Core, m *wire.TxnRequest) {
 				return
 			}
 		}
-		n.execRound(c, t, t.desc.ReadKeys, n.hashWriteKeys(t.desc))
+		n.execRound(c, t, t.desc.ReadKeys, n.execLockKeys(t.desc))
 	})
 }
 
@@ -149,7 +149,10 @@ func (n *Node) lockBlindBTree(c *nicrt.Core, t *ctxn, then func()) {
 		}
 		shard := n.place().ShardOf(kv.Key)
 		if n.primaryNode(shard) != n.id {
-			panic("core: B+tree key on a remote shard")
+			// The shard moved (stable primary after this node rejoined): the
+			// key locks at the serving primary through the EXECUTE round
+			// like any hash write (see execLockKeys).
+			continue
 		}
 		p := n.prim(shard)
 		n.chargeIndexOps(c, 1)
@@ -185,12 +188,16 @@ func (n *Node) lockBlindBTree(c *nicrt.Core, t *ctxn, then func()) {
 	finish()
 }
 
-// hashWriteKeys lists the write keys that live in the partitioned hash
-// store (B+tree blind writes are handled at the coordinator directly).
-func (n *Node) hashWriteKeys(d *txnmodel.TxnDesc) []uint64 {
+// execLockKeys lists the write keys locked through EXECUTE rounds: all
+// partitioned-hash keys, plus B+tree keys whose shard this node no longer
+// serves as primary — after a rejoin the stable-primary rule leaves the
+// old shard with the promoted node, so the rejoiner's B+tree writes lock
+// remotely like any other key. (Coordinator-local B+tree blind writes are
+// still locked directly in lockBlindBTree.)
+func (n *Node) execLockKeys(d *txnmodel.TxnDesc) []uint64 {
 	var out []uint64
 	for _, k := range d.WriteKeys() {
-		if !n.place().IsBTree(k) {
+		if !n.place().IsBTree(k) || n.primaryNode(n.place().ShardOf(k)) != n.id {
 			out = append(out, k)
 		}
 	}
@@ -732,6 +739,25 @@ func (n *Node) abortTxn(c *nicrt.Core, t *ctxn) {
 			Header:     wire.Header{TxnID: t.id, Src: uint8(n.id)},
 			LockedKeys: keys,
 		})
+	}
+	if t.phase == phLog {
+		// The abort interrupted log replication (only a view change can do
+		// that), so backups may hold undecided records. Announce the abort
+		// like notifyLogCommits announces commits: without it a backup
+		// promoted to primary parks the record in pendingDecide and keeps
+		// the write set locked waiting for a decision that never comes.
+		for _, sw := range groupByShard(n.place(), t.writes) {
+			for _, b := range n.cl.replicasOf(sw.shard) {
+				if b == n.id {
+					n.log.drop(t.id, sw.shard)
+					continue
+				}
+				c.Send(b, &wire.RecoveryDecide{
+					Header: wire.Header{TxnID: t.id, Src: uint8(n.id)},
+					Shard:  uint8(sw.shard), Commit: false,
+				})
+			}
+		}
 	}
 	n.recordAbort(t, t.failed)
 	n.traceAbort(t)

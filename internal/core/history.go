@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"fmt"
 
 	"xenic/internal/check"
@@ -168,6 +170,12 @@ func (cl *Cluster) AuditHistory() error {
 		}
 		for i := range n.log.records {
 			r := &n.log.records[i]
+			if r.txn == 0 {
+				// State-transfer snapshot chunks ride the backup-log path
+				// under sentinel txn 0 (handleStateChunk); they carry already
+				// committed rows, not a transaction of their own.
+				continue
+			}
 			if r.committed && r.dropped {
 				return fmt.Errorf("audit: node %d log seq %d: record for txn %#x both committed and dropped",
 					n.id, r.seq, r.txn)
@@ -188,7 +196,7 @@ func (cl *Cluster) AuditHistory() error {
 	for k := range last {
 		keys = append(keys, k)
 	}
-	sortUint64s(keys)
+	slices.Sort(keys)
 	for _, key := range keys {
 		s := cl.place.ShardOf(key)
 		pn := cl.nodes[cl.primaryNode(s)]

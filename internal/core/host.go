@@ -63,6 +63,9 @@ func (n *Node) hostIdle(t *hostrt.Thread) bool {
 	if !n.alive {
 		return false
 	}
+	if n.rejoin != nil && !n.rejoin.viewSeen {
+		return false // restarting: park until the join view arrives
+	}
 	if t.ID() < n.cl.cfg.AppThreads {
 		return n.appIdle(t, n.app[t.ID()])
 	}
@@ -201,8 +204,15 @@ func (n *Node) observeBlind(t *hostrt.Thread, d *txnmodel.TxnDesc) []wire.KV {
 		if !n.place().IsBTree(out[i].Key) {
 			continue
 		}
+		p := n.prim(n.place().ShardOf(out[i].Key))
+		if p == nil {
+			// Not the primary (the shard moved after this node rejoined):
+			// the serving primary reports the version at lock time instead,
+			// like a hash blind write.
+			continue
+		}
 		t.Charge(n.cl.cfg.Params.HostBTreeOp)
-		_, ver, _ := n.prim(n.place().ShardOf(out[i].Key)).data.Read(out[i].Key)
+		_, ver, _ := p.data.Read(out[i].Key)
 		out[i].Version = ver
 	}
 	return out

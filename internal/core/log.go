@@ -18,10 +18,15 @@ const (
 // in (FaRM applies at log truncation for the same reason). Undecided
 // records stay unapplied so recovery (§4.2.1) can commit or drop them.
 type logRecord struct {
-	seq       uint64
-	kind      recordKind
-	txn       uint64
-	shard     int // shard the writes belong to
+	seq   uint64
+	kind  recordKind
+	txn   uint64
+	shard int // shard the writes belong to
+	// epoch is the membership view epoch the record was logged under (the
+	// Log frame's epoch, or the node's own at append time). The promotion
+	// fence drops only records from epochs older than its own: a record a
+	// new-view coordinator logs can race the fence frame and must survive it.
+	epoch     int
 	writes    []wire.KV
 	committed bool
 	dropped   bool
@@ -63,9 +68,9 @@ func newHostLog() *hostLog {
 // append makes a completed record visible and returns its sequence number.
 // Commit records are decided by definition; backup records await their
 // LogCommit (or a recovery decision).
-func (l *hostLog) append(kind recordKind, txn uint64, shard int, writes []wire.KV) uint64 {
+func (l *hostLog) append(kind recordKind, txn uint64, shard int, writes []wire.KV, epoch int) uint64 {
 	l.nextSeq++
-	rec := logRecord{seq: l.nextSeq, kind: kind, txn: txn, shard: shard, writes: writes}
+	rec := logRecord{seq: l.nextSeq, kind: kind, txn: txn, shard: shard, writes: writes, epoch: epoch}
 	idx := len(l.records)
 	if kind == recCommit {
 		rec.committed = true
@@ -103,6 +108,27 @@ func (l *hostLog) drop(txn uint64, shard int) {
 		l.records[idx].dropped = true
 	}
 	delete(l.byTxn, k)
+}
+
+// dropBefore discards a transaction's undecided backup records for shard
+// stamped with an epoch older than fence (the promotion fence). Records a
+// new-view coordinator logged concurrently with the fence keep their epoch
+// and survive; their own LogCommit or abort decision resolves them.
+func (l *hostLog) dropBefore(txn uint64, shard, fence int) {
+	k := txnShard{txn: txn, shard: shard}
+	kept := l.byTxn[k][:0]
+	for _, idx := range l.byTxn[k] {
+		if l.records[idx].epoch < fence {
+			l.records[idx].dropped = true
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	if len(kept) == 0 {
+		delete(l.byTxn, k)
+		return
+	}
+	l.byTxn[k] = kept
 }
 
 // has reports whether the log holds a backup record for (txn, shard) —

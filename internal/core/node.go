@@ -39,8 +39,12 @@ type Stats struct {
 	// Timeouts counts coordinator watchdog expirations by phase (fault runs).
 	Timeouts [numPhases]int64
 	// StaleDrops counts NIC messages discarded because their source was
-	// evicted from the membership view (fault runs).
+	// evicted from the membership view or because their frame carried a
+	// pre-(re)join epoch stamp (fault runs).
 	StaleDrops int64
+	// RecoveryRefreshes counts in-flight recovery votes restarted because a
+	// view change shrank or reshaped the surviving replica set.
+	RecoveryRefreshes int64
 }
 
 // primaryShard is one shard this node currently serves as primary: its data
@@ -81,7 +85,18 @@ type Node struct {
 	// (nil otherwise); nicHandler drops messages from evicted nodes so
 	// delayed frames cannot re-acquire state that recovery already swept.
 	viewAlive []bool
-	stats     Stats
+	// joined mirrors the latest view's JoinedEpoch on fault runs: the epoch
+	// of each node's most recent (re)join, 0 for nodes alive since boot.
+	// nicHandler fences frames stamped before either endpoint's join, so a
+	// restarted node's old incarnation cannot act on the new one.
+	joined []int
+	// rejoin is non-nil while this node is restarting: booting, pulling
+	// state, or awaiting admission (see rejoin.go).
+	rejoin *rejoinState
+	// fwd holds per-shard state-transfer sessions this node serves as
+	// primary: snapshot chunks plus live commit forwarding to the rejoiner.
+	fwd   map[int]*xferSession
+	stats Stats
 }
 
 // faulty reports whether this cluster runs with fault injection; hardening
@@ -91,6 +106,10 @@ func (n *Node) faulty() bool { return n.cl.cfg.Faults != nil }
 
 // ID returns the node index.
 func (n *Node) ID() int { return n.id }
+
+// Alive reports whether the node is up — false between an injected crash
+// and its restart.
+func (n *Node) Alive() bool { return n.alive }
 
 // Stats returns a pointer to the node's counters (live).
 func (n *Node) Stats() *Stats { return &n.stats }
@@ -131,16 +150,39 @@ func (n *Node) nicHandler(c *nicrt.Core, src int, m wire.Msg) {
 	if !n.alive {
 		return // crashed node drops everything
 	}
+	if _, ok := m.(*wire.StateForward); ok && src != n.id {
+		// Forward accounting happens before any fence: the sender counted the
+		// forward in flight and the arrival must balance it even if dropped.
+		if n.cl.fwdInFlight[n.id] > 0 {
+			n.cl.fwdInFlight[n.id]--
+		}
+	}
+	if n.rejoin != nil && !n.rejoin.viewSeen {
+		// Booting after a restart: until the join view arrives this node has
+		// no epoch to speak in and drops all traffic.
+		n.stats.StaleDrops++
+		n.dbgMsg(src, m, "DROP boot-fence")
+		return
+	}
 	if n.viewAlive != nil && src != n.id && !n.viewAlive[src] {
 		// Delayed frame from a node the view evicted: recovery already swept
 		// its state; processing it now would strand locks or resurrect
 		// transactions the survivors decided.
 		n.stats.StaleDrops++
+		n.dbgMsg(src, m, "DROP evicted-src-fence")
 		return
 	}
-	if debugTxn != 0 && m.(interface{ GetTxnID() uint64 }).GetTxnID() == debugTxn {
-		fmt.Printf("DBG t=%v node=%d src=%d msg=%v\n", n.cl.eng.Now(), n.id, src, m.Type())
+	if n.joined != nil && src != n.id {
+		// Epoch fence: frames stamped before either endpoint's latest
+		// (re)join belong to a previous incarnation — a healed evictee must
+		// not serve stale reads or acquire locks with them.
+		if e := c.RxEpoch(); e < n.joined[src] || e < n.joined[n.id] {
+			n.stats.StaleDrops++
+			n.dbgMsg(src, m, "DROP epoch-fence")
+			return
+		}
 	}
+	n.dbgMsg(src, m, "recv")
 	switch m := m.(type) {
 	// Coordinator side.
 	case *wire.TxnRequest:
@@ -181,13 +223,46 @@ func (n *Node) nicHandler(c *nicrt.Core, src int, m wire.Msg) {
 		n.handleRecoveryResp(c, m)
 	case *wire.RecoveryDecide:
 		n.handleRecoveryDecide(c, m)
+	// State transfer (rejoin after restart).
+	case *wire.StatePull:
+		n.handleStatePull(c, src, m)
+	case *wire.StateChunk:
+		n.handleStateChunk(c, src, m)
+	case *wire.StateForward:
+		n.handleStateForward(c, m)
 	default:
 		panic(fmt.Sprintf("core: node %d: unexpected message %T", n.id, m))
 	}
 }
 
-// debugTxn enables message tracing for one transaction id (tests only).
+// debugTxn enables message tracing for one transaction id; ^0 traces every
+// fence drop instead (tests only).
 var debugTxn uint64
+
+// dbgMsg traces a protocol message arriving for the traced transaction, or —
+// in trace-all mode — any fence drop.
+func (n *Node) dbgMsg(src int, m wire.Msg, what string) {
+	if debugTxn == 0 {
+		return
+	}
+	if debugTxn != ^uint64(0) {
+		if g, ok := m.(interface{ GetTxnID() uint64 }); !ok || g.GetTxnID() != debugTxn {
+			return
+		}
+	} else if what == "recv" {
+		return // trace-all mode: drops only
+	}
+	fmt.Printf("DBG t=%v node=%d src=%d msg=%v %s\n", n.cl.eng.Now(), n.id, src, m.Type(), what)
+}
+
+// dbgEvt traces a lifecycle event (phase change, abort, pending decision) of
+// the traced transaction.
+func (n *Node) dbgEvt(txn uint64, format string, args ...any) {
+	if debugTxn == 0 || txn != debugTxn {
+		return
+	}
+	fmt.Printf("DBG t=%v node=%d %s\n", n.cl.eng.Now(), n.id, fmt.Sprintf(format, args...))
+}
 
 // sendOrLoop sends m to node dst, or re-dispatches locally when dst is this
 // node (e.g. a shipped transaction's Log whose RespondTo is a backup that

@@ -126,11 +126,13 @@ func (n *Node) setPhase(t *ctxn, ph phase) {
 	t.phase = ph
 	t.phaseAt = now
 	t.epoch++ // phase changes are the watchdog's progress signal
+	n.dbgEvt(t.id, "phase -> %v", ph)
 }
 
 // closeTxn finishes accounting when the coordinator drops t's state. Call
 // exactly once per ctxn, immediately before deleting it from n.ctxns.
 func (n *Node) closeTxn(t *ctxn, st wire.Status) {
+	n.dbgEvt(t.id, "closeTxn status=%v phase=%v", st, t.phase)
 	now := n.cl.eng.Now()
 	if h := n.stats.PhaseLat[t.phase]; h != nil {
 		h.Record(now - t.phaseAt)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"xenic/internal/membership"
 	"xenic/internal/nicrt"
@@ -30,7 +31,10 @@ type recovering struct {
 	shard    int
 	expected int // outstanding RecoveryResp count
 	allHave  bool
-	writes   []wire.KV // from a replica that holds the record
+	// round numbers the vote; a view change mid-recovery re-votes against
+	// the new replica set with round+1 and stale responses are ignored.
+	round  uint8
+	writes []wire.KV // from a replica that holds the record
 	// lockedKeys are this primary's locks held by the transaction (lock
 	// sweep); nil during promotion scans.
 	lockedKeys []uint64
@@ -65,11 +69,96 @@ func (n *Node) handleViewChange(c *nicrt.Core, v membership.View) {
 		return
 	}
 	if n.faulty() {
+		n.nic.SetEpoch(v.Epoch)
 		n.viewAlive = append(n.viewAlive[:0], v.Alive...)
+		n.joined = append(n.joined[:0], v.JoinedEpoch...)
+	}
+	if n.rejoin != nil {
+		n.rejoinOnView(c, v)
 	}
 	n.abortInFlight(c, v)
 	n.adoptShards(c, v)
+	n.convertPendingDecides(c, v)
 	n.sweepOrphanLocks(c, v)
+	n.refreshRecoveries(c, v)
+	n.updateForwards(v)
+}
+
+// convertPendingDecides re-decides promoted-shard records whose coordinator
+// has died since the promotion left them pending: the decision will never
+// arrive, so the recovery vote takes over (their keys stay locked until it
+// resolves).
+func (n *Node) convertPendingDecides(c *nicrt.Core, v membership.View) {
+	if len(n.pendingDecide) == 0 {
+		return
+	}
+	pending := make([]txnShard, 0, len(n.pendingDecide))
+	for ts := range n.pendingDecide {
+		pending = append(pending, ts)
+	}
+	slices.SortFunc(pending, func(a, b txnShard) int {
+		if a.txn != b.txn {
+			if a.txn < b.txn {
+				return -1
+			}
+			return 1
+		}
+		return a.shard - b.shard
+	})
+	for _, ts := range pending {
+		if v.Alive[txnNode(ts.txn)] {
+			continue
+		}
+		keys := n.pendingDecide[ts]
+		delete(n.pendingDecide, ts)
+		n.startRecovery(c, &recovering{
+			txn: ts.txn, shard: ts.shard, lockedKeys: keys,
+		}, v)
+	}
+}
+
+// refreshRecoveries re-votes every in-flight recovery against the new
+// view's replica set: a queried backup may have died (its answer will never
+// come) or the survivor set may have shrunk, changing what "present at
+// every surviving replica" means. Responses from the superseded round are
+// ignored.
+func (n *Node) refreshRecoveries(c *nicrt.Core, v membership.View) {
+	if len(n.recov) == 0 {
+		return
+	}
+	keys := make([]txnShard, 0, len(n.recov))
+	for ts := range n.recov {
+		keys = append(keys, ts)
+	}
+	slices.SortFunc(keys, func(a, b txnShard) int {
+		if a.txn != b.txn {
+			if a.txn < b.txn {
+				return -1
+			}
+			return 1
+		}
+		return a.shard - b.shard
+	})
+	for _, ts := range keys {
+		r := n.recov[ts]
+		r.round++
+		r.allHave = true
+		r.expected = 0
+		n.stats.RecoveryRefreshes++
+		for _, b := range n.cl.viewBackups(r.shard) {
+			if b == n.id {
+				continue
+			}
+			r.expected++
+			c.Send(b, &wire.RecoveryQuery{
+				Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
+				Shard:  uint8(r.shard), Round: r.round,
+			})
+		}
+		if r.expected == 0 {
+			n.decideRecovery(c, r)
+		}
+	}
 }
 
 // abortInFlight aborts every in-flight coordinated transaction: the view
@@ -82,9 +171,10 @@ func (n *Node) abortInFlight(c *nicrt.Core, v membership.View) {
 	for id := range n.ctxns {
 		ids = append(ids, id)
 	}
-	sortUint64s(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		t := n.ctxns[id]
+		n.dbgEvt(id, "abortInFlight phase=%v epoch=%d", t.phase, v.Epoch)
 		t.dead = true
 		if t.phase == phCommit {
 			// Already reported committed: in-flight COMMITs to surviving
@@ -133,7 +223,20 @@ func (n *Node) abortInFlight(c *nicrt.Core, v membership.View) {
 			// The remote execution already fanned out its records.
 			dropWrites = t.shipped.Writes
 		}
-		if t.phase == phLog || (t.phase == phShipped && t.shipped != nil) {
+		if t.phase == phShipped && t.shipped == nil && !v.Alive[t.shipTo] {
+			// The remote executor died mid-transaction: it may have fanned
+			// out log records before crashing, and the ShipResult that would
+			// normally name them (and trigger the straggler cleanup in
+			// coordShipResult) will never arrive. The descriptor still knows
+			// the write set — shipped transactions touch only this node and
+			// shipTo — so drop from it. The transaction cannot have reached
+			// its commit point: only this coordinator commits it, and it is
+			// aborting instead.
+			for _, k := range t.desc.WriteKeys() {
+				dropWrites = append(dropWrites, wire.KV{Key: k})
+			}
+		}
+		if t.phase == phLog || (t.phase == phShipped && len(dropWrites) > 0) {
 			// Replicas already hold this transaction's undecided records;
 			// tell every surviving replica — including a freshly promoted
 			// primary that held them as a backup — to drop (the
@@ -166,7 +269,7 @@ func (n *Node) abortInFlight(c *nicrt.Core, v membership.View) {
 			orphaned = append(orphaned, txn)
 		}
 	}
-	sortUint64s(orphaned)
+	slices.Sort(orphaned)
 	for _, txn := range orphaned {
 		delete(n.remoteLocks, txn)
 		// The individual key locks are still in the index and will be
@@ -226,6 +329,7 @@ func (n *Node) adoptShards(c *nicrt.Core, v membership.View) {
 					keys = append(keys, kv.Key)
 				}
 			}
+			n.dbgEvt(ts.txn, "adoptShards pendingDecide shard=%d keys=%d", s, len(keys))
 			n.pendingDecide[ts] = keys
 		}
 		if !started {
@@ -274,14 +378,7 @@ func (n *Node) finishPromotion(c *nicrt.Core, shard int) {
 	p.ready = true
 	// Fence: surviving backups drop any undecided records this primary
 	// does not hold (those transactions cannot have committed).
-	for _, b := range n.cl.viewBackups(shard) {
-		if b != n.id {
-			c.Send(b, &wire.RecoveryDecide{
-				Header: wire.Header{TxnID: 0, Src: uint8(n.id)},
-				Shard:  uint8(shard), Commit: false,
-			})
-		}
-	}
+	n.broadcastDecide(c, 0, shard, false)
 }
 
 // sweepOrphanLocks finds locks held by transactions whose coordinator died
@@ -305,7 +402,7 @@ func (n *Node) sweepOrphanLocks(c *nicrt.Core, v membership.View) {
 			}
 			orphans[owner] = append(orphans[owner], key)
 		})
-		sortUint64s(order)
+		slices.Sort(order)
 		for _, txn := range order {
 			n.startRecovery(c, &recovering{
 				txn: txn, shard: s, lockedKeys: orphans[txn],
@@ -338,7 +435,7 @@ func (n *Node) startRecovery(c *nicrt.Core, r *recovering, v membership.View) {
 		r.expected++
 		c.Send(b, &wire.RecoveryQuery{
 			Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
-			Shard:  uint8(r.shard),
+			Shard:  uint8(r.shard), Round: r.round,
 		})
 	}
 	n.recov[key] = r
@@ -352,7 +449,7 @@ func (n *Node) handleRecoveryQuery(c *nicrt.Core, src int, m *wire.RecoveryQuery
 	writes, has := n.log.has(m.TxnID, int(m.Shard))
 	c.Send(src, &wire.RecoveryResp{
 		Header: wire.Header{TxnID: m.TxnID, Src: uint8(n.id)},
-		Shard:  m.Shard, Has: has, Writes: writes,
+		Shard:  m.Shard, Round: m.Round, Has: has, Writes: writes,
 	})
 }
 
@@ -361,6 +458,9 @@ func (n *Node) handleRecoveryResp(c *nicrt.Core, m *wire.RecoveryResp) {
 	r, ok := n.recov[txnShard{txn: m.TxnID, shard: int(m.Shard)}]
 	if !ok {
 		return
+	}
+	if m.Round != r.round {
+		return // answer to a vote a view change superseded
 	}
 	if m.Has {
 		if r.writes == nil {
@@ -400,18 +500,35 @@ func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
 		}
 	}
 	// Tell surviving backups the fate of their records.
-	for _, b := range n.cl.viewBackups(r.shard) {
+	n.broadcastDecide(c, r.txn, r.shard, commit)
+	if r.promotion {
+		n.finishPromotion(c, r.shard)
+	}
+}
+
+// broadcastDecide announces a recovery outcome (or, with txn 0, the
+// promotion fence) to the shard's surviving backups.
+func (n *Node) broadcastDecide(c *nicrt.Core, txn uint64, shard int, commit bool) {
+	for _, b := range n.cl.viewBackups(shard) {
 		if b == n.id {
 			continue
 		}
 		c.Send(b, &wire.RecoveryDecide{
-			Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
-			Shard:  uint8(r.shard), Commit: commit,
+			Header: wire.Header{TxnID: txn, Src: uint8(n.id)},
+			Shard:  uint8(shard), Commit: commit,
 		})
 	}
-	if r.promotion {
-		n.finishPromotion(c, r.shard)
+}
+
+// resolveRecord applies a recovery decision to this node's log: commit
+// (mark decided, wake workers to apply) or drop.
+func (n *Node) resolveRecord(txn uint64, shard int, commit bool) {
+	if commit {
+		n.log.markCommitted(txn, shard)
+		n.wakeWorkers()
+		return
 	}
+	n.log.drop(txn, shard)
 }
 
 // handleRecoveryDecide applies a primary's decision at a backup — or, when
@@ -421,15 +538,17 @@ func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
 func (n *Node) handleRecoveryDecide(c *nicrt.Core, m *wire.RecoveryDecide) {
 	shard := int(m.Shard)
 	if m.TxnID == 0 {
+		fence := c.RxEpoch()
 		for _, ts := range n.log.undecided(shard) {
 			if _, pending := n.pendingDecide[ts]; pending {
 				continue // our own promoted shard's pending records
 			}
-			n.log.drop(ts.txn, shard)
+			n.log.dropBefore(ts.txn, shard, fence)
 		}
 		return
 	}
 	ts := txnShard{txn: m.TxnID, shard: shard}
+	n.dbgEvt(m.TxnID, "handleRecoveryDecide shard=%d commit=%v", shard, m.Commit)
 	if keys, ok := n.pendingDecide[ts]; ok {
 		delete(n.pendingDecide, ts)
 		if p := n.prim(shard); p != nil {
@@ -439,18 +558,5 @@ func (n *Node) handleRecoveryDecide(c *nicrt.Core, m *wire.RecoveryDecide) {
 		}
 		// fall through to record the decision below
 	}
-	if m.Commit {
-		n.log.markCommitted(m.TxnID, shard)
-		n.wakeWorkers()
-		return
-	}
-	n.log.drop(m.TxnID, shard)
-}
-
-func sortUint64s(a []uint64) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
+	n.resolveRecord(m.TxnID, shard, m.Commit)
 }

@@ -22,11 +22,27 @@ import (
 // inline, misses chain the lookup's (dependent) DMA reads and call done
 // from a later polling-loop iteration.
 func (n *Node) lookupAsync(c *nicrt.Core, shard int, key uint64, done func(res nicindex.Result)) {
-	if n.place().IsBTree(key) {
-		panic(fmt.Sprintf("core: node %d: remote lookup of B+tree key %d", n.id, key))
-	}
 	p := n.prim(shard)
 	n.chargeIndexOps(c, 1)
+	if n.place().IsBTree(key) {
+		// B+tree keys are normally resolved at their coordinator's host, but
+		// after a rejoin the stable-primary rule leaves the restarted node
+		// coordinating against a B+tree shard served here; its operations
+		// resolve like any other key. The NIC does not cache B+tree values,
+		// so DMA-read the row from the host tree — and if the index carries
+		// a newer committed version than the host has applied (the commit
+		// record is still pinned), no consistent pair exists: report a
+		// conflict so the caller aborts and the coordinator retries.
+		c.DMARead([]int{btreeVerifyBytes}, func() {
+			v, ver, ok := p.data.Read(key)
+			if iv, known := p.index.VersionOf(key); known && iv != ver {
+				done(nicindex.Result{Conflict: true})
+				return
+			}
+			done(nicindex.Result{Found: ok, Version: ver, Value: v})
+		})
+		return
+	}
 	res := p.index.Lookup(key)
 	if len(res.Reads) == 0 {
 		done(res)
@@ -100,12 +116,20 @@ func (n *Node) serverExecute(c *nicrt.Core, shard int, txn uint64, readKeys, loc
 		done(wire.StatusOK, nil)
 		return
 	}
+	conflict := false
 	for i, k := range all {
 		i, k := i, k
 		n.lookupAsync(c, shard, k, func(res nicindex.Result) {
+			if res.Conflict {
+				conflict = true
+			}
 			items[i] = wire.KV{Key: k, Version: res.Version, Value: res.Value}
 			pending--
 			if pending == 0 {
+				if conflict {
+					fail(wire.StatusAbortLocked)
+					return
+				}
 				done(wire.StatusOK, items)
 			}
 		})
@@ -199,8 +223,16 @@ func (n *Node) handleValidate(c *nicrt.Core, src int, m *wire.Validate) {
 func (n *Node) appendLog(c *nicrt.Core, kind recordKind, txn uint64, shard int,
 	writes []wire.KV, done func(seq uint64)) {
 
+	// Stamp the record with its origin epoch — the frame's when handling a
+	// remote Log, else this node's own — before the DMA completes (the
+	// callback runs outside the frame context). The promotion fence uses it
+	// to spare records logged under the new view.
+	epoch := c.RxEpoch()
+	if epoch == 0 {
+		epoch = n.nic.Epoch()
+	}
 	c.DMAWrite([]int{recordBytes(writes)}, func() {
-		seq := n.log.append(kind, txn, shard, writes)
+		seq := n.log.append(kind, txn, shard, writes, epoch)
 		n.wakeWorkers()
 		done(seq)
 	})
@@ -231,6 +263,17 @@ func (n *Node) commitShard(c *nicrt.Core, shard int, txn uint64, writes []wire.K
 	p := n.prim(shard)
 	if p == nil {
 		panic(fmt.Sprintf("core: node %d committing shard %d it does not serve", n.id, shard))
+	}
+	if sess, ok := n.fwd[shard]; ok && (sess.fence == 0 || c.RxEpoch() < sess.fence) {
+		// A rejoiner is re-replicating this shard: relay the commit so its
+		// copy stays current. Once the rejoiner is a listed backup (fence
+		// set), coordinators on the new view log to it directly and only
+		// pre-fence commits still need relaying.
+		n.cl.fwdInFlight[sess.node]++
+		c.Send(sess.node, &wire.StateForward{
+			Header: wire.Header{TxnID: txn, Src: uint8(n.id)},
+			Shard:  uint8(shard), Writes: writes,
+		})
 	}
 	n.chargeIndexOps(c, len(writes))
 	pinned := make([]uint64, 0, len(writes))
@@ -367,7 +410,12 @@ func (n *Node) handleShipExec(c *nicrt.Core, src int, m *wire.ShipExec) {
 	// Resolve this shard's values, then execute.
 	vals := map[uint64]wire.KV{}
 	pending := len(mine)
+	conflict := false
 	finish := func() {
+		if conflict {
+			failResp(wire.StatusAbortLocked, locked)
+			return
+		}
 		reads := assembleReads(m.ReadKeys, m.WriteKeys, func(k uint64) (wire.KV, bool) {
 			if kv, ok := local[k]; ok {
 				return kv, true
@@ -428,6 +476,9 @@ func (n *Node) handleShipExec(c *nicrt.Core, src int, m *wire.ShipExec) {
 	for _, k := range mine {
 		k := k
 		n.lookupAsync(c, n.place().ShardOf(k), k, func(res nicindex.Result) {
+			if res.Conflict {
+				conflict = true
+			}
 			vals[k] = wire.KV{Key: k, Version: res.Version, Value: res.Value}
 			pending--
 			if pending == 0 {

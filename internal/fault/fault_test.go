@@ -74,6 +74,59 @@ func TestParseDefaultsAndErrors(t *testing.T) {
 	}
 }
 
+func TestParseRestart(t *testing.T) {
+	p, err := Parse("crash=2@500us,restart=2@3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Restarts) != 1 || p.Restarts[0] != (Restart{Node: 2, At: 3 * sim.Millisecond}) {
+		t.Fatalf("restarts: %+v", p.Restarts)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); !strings.Contains(got, "restart=2@3.000ms") {
+		t.Fatalf("String() lost the restart: %s", got)
+	}
+	// Round-trip: crash-restart-crash-restart of the same node is legal.
+	p, err = Parse("crash=1@1ms,restart=1@3ms,crash=1@5ms,restart=1@7ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"restart=2",        // missing @TIME
+		"restart=2@",       // empty time
+		"restart=x@3ms",    // bad node
+		"restart=2@3bogus", // bad duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateRejectsRestartPlans(t *testing.T) {
+	for name, spec := range map[string]string{
+		"no-failure":   "restart=2@3ms",                           // nothing to restart from
+		"before-crash": "crash=2@5ms,restart=2@3ms",               // restart precedes the crash
+		"double":       "crash=2@1ms,restart=2@3ms,restart=2@4ms", // no intervening failure
+		"duplicate":    "crash=2@1ms,restart=2@3ms,restart=2@3ms", // same instant twice
+		"node-oob":     "crash=2@1ms,restart=9@3ms",               // node outside cluster
+	} {
+		p, err := Parse(spec)
+		if err != nil {
+			// Rejected at parse time is fine too.
+			continue
+		}
+		if err := p.Validate(4); err == nil {
+			t.Errorf("%s (%s) validated", name, spec)
+		}
+	}
+}
+
 func TestValidateRejectsBadPlans(t *testing.T) {
 	for name, p := range map[string]*Plan{
 		"prob>1":         {DropProb: 1.5},

@@ -30,7 +30,7 @@ func runByID(t *testing.T, id string) *Report {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig4", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9a", "fig9b", "table1", "table2", "table3",
-		"ablate-cache", "ablate-dm", "ablate-k", "chaos", "checksweep"}
+		"ablate-cache", "ablate-dm", "ablate-k", "availability", "chaos", "checksweep"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -78,6 +78,44 @@ func TestAblateCacheQuick(t *testing.T) {
 	big := cell(t, strings.TrimSuffix(r.Rows[len(r.Rows)-1][3], "%"))
 	if big <= small {
 		t.Errorf("hit rate did not grow with cache: %.1f%% vs %.1f%%", small, big)
+	}
+}
+
+// TestAvailabilityQuick runs the crash→promotion→restart→re-replication
+// timeline and checks the acceptance criteria: the replication factor is
+// restored (with a reported time-to-restore) and throughput recovers to at
+// least 90% of the pre-crash steady state.
+func TestAvailabilityQuick(t *testing.T) {
+	out := availabilityCell(quick(), 1)
+	if out.err != nil {
+		t.Fatalf("availability run failed: %v", out.err)
+	}
+	if !out.drained {
+		t.Fatal("availability run did not drain")
+	}
+	if out.restoredAt == 0 {
+		t.Fatal("replication factor never restored")
+	}
+	if out.restoredAt <= out.restartAt {
+		t.Fatalf("replication restored at %v, before the restart at %v", out.restoredAt, out.restartAt)
+	}
+	last := out.series[len(out.series)-1]
+	if last.repl != 3 {
+		t.Fatalf("final min replication factor %d, want 3", last.repl)
+	}
+	if last.epoch == 0 {
+		t.Fatal("view epoch never moved despite eviction and rejoin")
+	}
+	if out.preTput == 0 || out.postTput == 0 {
+		t.Fatalf("steady states not measured: pre=%.0f post=%.0f", out.preTput, out.postTput)
+	}
+	if ratio := out.recoveryRatio(); ratio < 0.9 {
+		t.Fatalf("throughput recovered to only %.0f%% of pre-crash steady state", ratio*100)
+	}
+	// The report renders without error.
+	r := runByID(t, "availability")
+	if len(r.Rows) < 10 {
+		t.Fatalf("availability time series has only %d buckets", len(r.Rows))
 	}
 }
 

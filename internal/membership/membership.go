@@ -42,6 +42,14 @@ type View struct {
 	Epoch int
 	// Alive[i] reports node i's membership.
 	Alive []bool
+	// Joining[i] marks a restarted node that has re-registered (messages
+	// flow, its lease renews) but is still catching up via state transfer;
+	// it serves no replicas until admitted.
+	Joining []bool
+	// JoinedEpoch[i] is the epoch of node i's most recent (re)join — 0 for
+	// nodes alive since boot. Fencing drops frames stamped with an older
+	// epoch than the endpoint's join.
+	JoinedEpoch []int
 	// PrimaryOf[s] is the node currently serving shard s.
 	PrimaryOf []int
 	// BackupsOf[s] lists the surviving backups of shard s.
@@ -51,8 +59,10 @@ type View struct {
 // clone deep-copies a view.
 func (v View) clone() View {
 	out := View{Epoch: v.Epoch,
-		Alive:     append([]bool(nil), v.Alive...),
-		PrimaryOf: append([]int(nil), v.PrimaryOf...)}
+		Alive:       append([]bool(nil), v.Alive...),
+		Joining:     append([]bool(nil), v.Joining...),
+		JoinedEpoch: append([]int(nil), v.JoinedEpoch...),
+		PrimaryOf:   append([]int(nil), v.PrimaryOf...)}
 	for _, b := range v.BackupsOf {
 		out.BackupsOf = append(out.BackupsOf, append([]int(nil), b...))
 	}
@@ -79,7 +89,8 @@ func New(eng *sim.Engine, nodes, replication int, cfg Config) *Manager {
 	}
 	m := &Manager{eng: eng, cfg: cfg, nodes: nodes, repl: replication,
 		deadline: make([]sim.Time, nodes)}
-	v := View{Epoch: 0, Alive: make([]bool, nodes), PrimaryOf: make([]int, nodes)}
+	v := View{Epoch: 0, Alive: make([]bool, nodes), Joining: make([]bool, nodes),
+		JoinedEpoch: make([]int, nodes), PrimaryOf: make([]int, nodes)}
 	for i := 0; i < nodes; i++ {
 		v.Alive[i] = true
 		v.PrimaryOf[i] = i
@@ -103,13 +114,41 @@ func (m *Manager) View() View { return m.view.clone() }
 // each reconfiguration (modeling manager-to-node propagation).
 func (m *Manager) OnChange(fn func(View)) { m.onChange = append(m.onChange, fn) }
 
-// Renew extends node's lease. Dead nodes cannot rejoin (rejoin/again is a
-// separate reconfiguration path the paper also leaves to the manager).
+// Renew extends node's lease. Dead nodes cannot renew their way back in —
+// rejoining goes through the explicit Rejoin/Admit path below.
 func (m *Manager) Renew(node int) {
 	if !m.view.Alive[node] {
 		return
 	}
 	m.deadline[node] = m.eng.Now() + m.cfg.LeaseDuration
+}
+
+// Rejoin re-registers a restarted node: it gets a fresh lease and is
+// admitted to the next view as a joining member (messages flow, the lease
+// renews, but it serves no replicas until Admit). No-op if already alive.
+func (m *Manager) Rejoin(node int) {
+	if m.view.Alive[node] {
+		return
+	}
+	m.deadline[node] = m.eng.Now() + m.cfg.LeaseDuration
+	m.view.Alive[node] = true
+	m.view.Joining[node] = true
+	m.reconfigure()
+	m.view.JoinedEpoch[node] = m.view.Epoch
+	// Re-publish so the join epoch is part of the announced view.
+	m.notify()
+}
+
+// Admit completes a join: once the node has caught up via state transfer it
+// re-enters every replica chain as a live backup, restoring the replication
+// factor. No-op unless the node is alive and joining.
+func (m *Manager) Admit(node int) {
+	if !m.view.Alive[node] || !m.view.Joining[node] {
+		return
+	}
+	m.view.Joining[node] = false
+	m.reconfigure()
+	m.notify()
 }
 
 // Start begins the expiry checker.
@@ -124,12 +163,14 @@ func (m *Manager) Start() {
 	})
 }
 
-// check expires stale leases and reconfigures.
+// check expires stale leases and reconfigures. A joining node whose lease
+// lapses mid-catch-up is evicted like any other member.
 func (m *Manager) check() {
 	changed := false
 	for i := range m.deadline {
 		if m.view.Alive[i] && m.eng.Now() > m.deadline[i] {
 			m.view.Alive[i] = false
+			m.view.Joining[i] = false
 			changed = true
 		}
 	}
@@ -137,10 +178,14 @@ func (m *Manager) check() {
 		return
 	}
 	m.reconfigure()
+	m.notify()
 }
 
-// reconfigure promotes the first surviving backup of every shard whose
-// primary died and prunes dead backups.
+// reconfigure bumps the epoch and rebuilds every shard's replica chain from
+// the nodes that are alive and fully admitted (joining members serve
+// nothing yet). The serving primary is stable: it only changes when it
+// leaves the view, so an admitted rejoiner re-enters its old chain
+// positions as a backup while the promoted primary keeps serving.
 func (m *Manager) reconfigure() {
 	m.view.Epoch++
 	for s := 0; s < m.nodes; s++ {
@@ -149,10 +194,14 @@ func (m *Manager) reconfigure() {
 		for r := 1; r < m.repl; r++ {
 			chain = append(chain, (s+r)%m.nodes)
 		}
+		eligible := func(n int) bool { return m.view.Alive[n] && !m.view.Joining[n] }
 		primary := -1
+		if cur := m.view.PrimaryOf[s]; eligible(cur) {
+			primary = cur
+		}
 		var backups []int
 		for _, n := range chain {
-			if !m.view.Alive[n] {
+			if !eligible(n) || n == primary {
 				continue
 			}
 			if primary == -1 {
@@ -169,6 +218,11 @@ func (m *Manager) reconfigure() {
 		m.view.PrimaryOf[s] = primary
 		m.view.BackupsOf[s] = backups
 	}
+}
+
+// notify publishes the current view to every registered callback after the
+// manager-to-node propagation delay.
+func (m *Manager) notify() {
 	v := m.View()
 	for _, fn := range m.onChange {
 		fn := fn

@@ -134,6 +134,121 @@ func TestDoubleFailure(t *testing.T) {
 	}
 }
 
+func TestRejoinAdmit(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	var views []View
+	m.OnChange(func(v View) { views = append(views, v) })
+	dead := map[int]bool{}
+	renewAllExcept(eng, m, dead)
+	eng.Run(3 * sim.Millisecond)
+	dead[2] = true
+	eng.Run(20 * sim.Millisecond)
+	failEpoch := m.View().Epoch
+
+	// Phase 1: re-register. The node is alive and joining — its lease
+	// renews, but it serves no replicas yet.
+	m.Rejoin(2)
+	dead[2] = false
+	eng.Run(21 * sim.Millisecond)
+	v := m.View()
+	if !v.Alive[2] || !v.Joining[2] {
+		t.Fatalf("after Rejoin: alive=%v joining=%v", v.Alive[2], v.Joining[2])
+	}
+	if v.Epoch <= failEpoch {
+		t.Fatalf("join did not bump epoch: %d <= %d", v.Epoch, failEpoch)
+	}
+	joinEpoch := v.Epoch
+	if v.JoinedEpoch[2] != joinEpoch {
+		t.Fatalf("JoinedEpoch %d, want %d", v.JoinedEpoch[2], joinEpoch)
+	}
+	for s := 0; s < 6; s++ {
+		if v.PrimaryOf[s] == 2 {
+			t.Fatalf("joining node serves shard %d as primary", s)
+		}
+		for _, b := range v.BackupsOf[s] {
+			if b == 2 {
+				t.Fatalf("joining node serves shard %d as backup", s)
+			}
+		}
+	}
+
+	// Joining is not a lease: without Admit the node stays joining.
+	eng.Run(26 * sim.Millisecond)
+	if v := m.View(); !v.Joining[2] {
+		t.Fatal("node admitted without Admit")
+	}
+
+	// Phase 2: admit. The node re-enters its old chain positions as a
+	// backup; the promoted primary keeps serving (stable-primary rule).
+	m.Admit(2)
+	eng.Run(27 * sim.Millisecond)
+	v = m.View()
+	if v.Joining[2] {
+		t.Fatal("still joining after Admit")
+	}
+	if v.PrimaryOf[2] != 3 {
+		t.Fatalf("rejoiner reclaimed primaryship: shard 2 primary %d, want 3", v.PrimaryOf[2])
+	}
+	if len(v.BackupsOf[2]) != 2 || v.BackupsOf[2][0] != 2 || v.BackupsOf[2][1] != 4 {
+		t.Fatalf("shard 2 backups %v, want [2 4]", v.BackupsOf[2])
+	}
+	// Shards 0 and 1 regain node 2 as a backup: replication restored.
+	if len(v.BackupsOf[0]) != 2 || len(v.BackupsOf[1]) != 2 {
+		t.Fatalf("replication not restored: %v %v", v.BackupsOf[0], v.BackupsOf[1])
+	}
+	// The join epoch is sticky until the next rejoin.
+	if v.JoinedEpoch[2] != joinEpoch {
+		t.Fatalf("JoinedEpoch moved to %d after Admit", v.JoinedEpoch[2])
+	}
+	// Epochs observed by subscribers are strictly monotonic.
+	for i := 1; i < len(views); i++ {
+		if views[i].Epoch <= views[i-1].Epoch {
+			t.Fatalf("epoch regressed: %d after %d", views[i].Epoch, views[i-1].Epoch)
+		}
+	}
+}
+
+func TestRejoinAdmitNoOps(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	renewAllExcept(eng, m, map[int]bool{})
+	eng.Run(3 * sim.Millisecond)
+	before := m.View().Epoch
+	m.Rejoin(1) // already alive
+	m.Admit(1)  // not joining
+	eng.Run(4 * sim.Millisecond)
+	if got := m.View().Epoch; got != before {
+		t.Fatalf("no-op join changed epoch %d -> %d", before, got)
+	}
+}
+
+func TestJoiningNodeEvictedOnLeaseLapse(t *testing.T) {
+	eng, m := setup(t)
+	m.Start()
+	dead := map[int]bool{}
+	renewAllExcept(eng, m, dead)
+	eng.Run(3 * sim.Millisecond)
+	dead[2] = true
+	eng.Run(20 * sim.Millisecond)
+
+	// Rejoin but never renew: the fresh lease lapses mid-catch-up and the
+	// joining node is evicted like any other member.
+	m.Rejoin(2)
+	eng.Run(30 * sim.Millisecond)
+	v := m.View()
+	if v.Alive[2] || v.Joining[2] {
+		t.Fatalf("lapsed joiner not evicted: alive=%v joining=%v", v.Alive[2], v.Joining[2])
+	}
+	// A later Admit of the evicted node must be a no-op.
+	before := v.Epoch
+	m.Admit(2)
+	eng.Run(31 * sim.Millisecond)
+	if got := m.View().Epoch; got != before {
+		t.Fatalf("Admit of evicted node changed epoch %d -> %d", before, got)
+	}
+}
+
 func TestBadConfigPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

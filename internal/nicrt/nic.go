@@ -61,6 +61,10 @@ type NIC struct {
 	seen   []map[uint64]struct{}
 	maxSeq []uint64
 
+	// epoch is the membership view epoch stamped on every emitted frame;
+	// receivers use it to fence traffic from before a node's (re)join.
+	epoch int
+
 	handler     Handler
 	hostDeliver func(ms []wire.Msg)
 
@@ -162,6 +166,23 @@ func (n *NIC) RegisterMetrics(reg *metrics.Registry) {
 	reg.RegisterIntHist("gather_list_len", &n.gatherLens)
 	reg.RegisterIntHist("dma_vector_occupancy", &n.dmaVecOcc)
 	reg.RegisterFunc("pcie", func() any { return n.dma.Snapshot() })
+}
+
+// SetEpoch updates the view epoch stamped on emitted frames; the protocol
+// layer calls it when a new membership view lands.
+func (n *NIC) SetEpoch(e int) { n.epoch = e }
+
+// Epoch returns the view epoch currently stamped on emitted frames.
+func (n *NIC) Epoch() int { return n.epoch }
+
+// Reset wipes the NIC's soft state for a node restart: the duplicate-frame
+// suppression window and the frame epoch. Forgetting seen sequence numbers
+// is safe because every pre-restart frame carries a stale epoch and is
+// fenced by the protocol layer before it can act.
+func (n *NIC) Reset() {
+	n.seen = nil
+	n.maxSeq = nil
+	n.epoch = 0
 }
 
 // OnMessage installs the protocol handler; must be set before traffic flows.
@@ -304,6 +325,17 @@ func (n *NIC) SetDMAFault(fn func() bool) { n.dma.SetFaultHook(fn) }
 // StallDMA freezes the DMA engine for dur.
 func (n *NIC) StallDMA(dur sim.Time) { n.dma.Stall(dur) }
 
+// InjectRx delivers one message to the protocol handler on a live core as
+// if it had arrived from src in a frame stamped with the given view epoch;
+// tests exercise the receive-side epoch fence with it.
+func (n *NIC) InjectRx(epoch, src int, m wire.Msg) {
+	n.Inject(n.LiveCore(), func(c *Core) {
+		c.rxEpoch = epoch
+		c.nic.handler(c, src, m)
+		c.rxEpoch = 0
+	})
+}
+
 // Inject schedules fn to run on core i's next loop iteration; protocol
 // timers and NIC-originated microbenchmarks use it.
 func (n *NIC) Inject(i int, fn func(c *Core)) {
@@ -345,7 +377,15 @@ type Core struct {
 	outNet  map[int]*[]wire.Msg
 	outDsts []int
 	outHost []wire.Msg
+
+	// rxEpoch is the view epoch stamped on the frame whose messages are being
+	// handled right now (0 for host-, DMA-, and job-context work).
+	rxEpoch int
 }
+
+// RxEpoch returns the view epoch of the frame currently being handled, or 0
+// when the handler is running in a host/DMA/job context.
+func (c *Core) RxEpoch() int { return c.rxEpoch }
 
 // iteration is one burst loop pass: handle a burst of Ethernet and host
 // traffic and a burst of DMA completions, then flush DMA vectors and
@@ -364,6 +404,7 @@ func (c *Core) iteration() bool {
 			tr.Instant("net", "frame-rx", c.nic.node, c.id, c.nic.eng.Now(),
 				trace.Args{"src": f.Src, "bytes": f.PayloadBytes, "msgs": len(f.Msgs)})
 		}
+		c.rxEpoch = f.Epoch
 		for _, raw := range f.Msgs {
 			m := raw.(wire.Msg)
 			c.nic.stats.RxMsgs++
@@ -373,6 +414,7 @@ func (c *Core) iteration() bool {
 		frames[i] = nil
 		c.nic.nw.Recycle(f)
 	}
+	c.rxEpoch = 0
 	c.frameSpare = frames[:0]
 
 	hostPkts := c.inHost
@@ -494,16 +536,20 @@ func (c *Core) dmaOp(write bool, sizes []int, cb func()) {
 		if write {
 			c.pendWriteSizes = append(c.pendWriteSizes, sz)
 			if len(c.pendWriteSizes) == p.DMAVectorMax {
-				c.pendWriteCbs = append(c.pendWriteCbs, cb)
-				cb = nil
+				if cb != nil {
+					c.pendWriteCbs = append(c.pendWriteCbs, cb)
+					cb = nil
+				}
 				c.submitVector(true)
 				continue
 			}
 		} else {
 			c.pendReadSizes = append(c.pendReadSizes, sz)
 			if len(c.pendReadSizes) == p.DMAVectorMax {
-				c.pendReadCbs = append(c.pendReadCbs, cb)
-				cb = nil
+				if cb != nil {
+					c.pendReadCbs = append(c.pendReadCbs, cb)
+					cb = nil
+				}
 				c.submitVector(false)
 				continue
 			}
@@ -678,6 +724,7 @@ func (c *Core) emitFrame(dst, flow, bytes int, f *simnet.Frame) {
 		c.nic.stats.TxFrames++
 		frag := c.nic.nw.NewFrame()
 		frag.Src, frag.Dst, frag.PayloadBytes, frag.Flow = c.nic.node, dst, p.MTU, flow
+		frag.Epoch = c.nic.epoch
 		c.nic.eng.At1(c.poller.Now(), c.nic.sendFn, frag)
 		bytes -= p.MTU
 	}
@@ -689,6 +736,7 @@ func (c *Core) emitFrame(dst, flow, bytes int, f *simnet.Frame) {
 			trace.Args{"dst": dst, "bytes": bytes, "msgs": len(f.Msgs)})
 	}
 	f.Src, f.Dst, f.PayloadBytes, f.Flow = c.nic.node, dst, bytes, flow
+	f.Epoch = c.nic.epoch
 	// Transmit at the core's current instant so link serialization starts
 	// when the core actually hands off the frame.
 	c.nic.eng.At1(c.poller.Now(), c.nic.sendFn, f)

@@ -25,8 +25,14 @@ type Frame struct {
 	Flow int
 	// Seq is a per-(src,dst) sequence number stamped on fault-injection
 	// runs; receivers use it to discard duplicated deliveries.
-	Seq  uint64
-	Msgs []any
+	Seq uint64
+	// Epoch is the sender's membership view epoch at emission time
+	// (fault-injection runs only). Receivers fence: frames stamped before an
+	// endpoint's latest (re)join are stale and dropped, so a healed evictee
+	// cannot serve stale reads or acquire locks. Retransmissions keep the
+	// original stamp — exactly the fencing semantics we want.
+	Epoch int
+	Msgs  []any
 }
 
 // Handler receives frames delivered to a node, at the simulated instant the

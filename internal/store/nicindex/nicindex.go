@@ -49,6 +49,10 @@ type Result struct {
 	CacheHit    bool
 	Reads       []ReadOp // DMA reads performed, in order (empty on cache hit)
 	ObjectsRead int      // objects fetched over PCIe
+	// Conflict marks a B+tree row caught mid-commit: the index holds a
+	// committed version whose value the host has not applied yet, so no
+	// consistent (value, version) pair exists. Callers abort and retry.
+	Conflict bool
 }
 
 // Stats counts index events.

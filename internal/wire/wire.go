@@ -42,6 +42,11 @@ const (
 	TRecoveryQuery  // new/sweeping primary -> backup: do you hold txn's record?
 	TRecoveryResp   //
 	TRecoveryDecide // primary -> backups: commit or drop a recovering record
+	// Rejoin state transfer: a restarted node re-fetches its shards from the
+	// current primaries while they keep serving.
+	TStatePull    // rejoiner -> primary: request the next snapshot chunk
+	TStateChunk   // primary -> rejoiner: sorted key range of the shard
+	TStateForward // primary -> rejoiner: a commit applied during catch-up
 )
 
 func (t Type) String() string {
@@ -49,7 +54,8 @@ func (t Type) String() string {
 		"txn-done", "log-apply-ack", "execute", "execute-resp", "validate",
 		"validate-resp", "log", "log-resp", "commit", "commit-resp", "abort",
 		"ship-exec", "ship-result", "log-commit", "recovery-query",
-		"recovery-resp", "recovery-decide"}
+		"recovery-resp", "recovery-decide", "state-pull", "state-chunk",
+		"state-forward"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -643,18 +649,23 @@ func (m *LogCommit) Marshal(b []byte) []byte {
 
 // RecoveryQuery asks a replica whether it holds a log record for the
 // transaction on the given shard (§4.2.1: recovering transactions are
-// committed iff every surviving replica logged them).
+// committed iff every surviving replica logged them). Round distinguishes
+// re-votes: when a second view change lands while a recovery is still
+// collecting responses, the recovering primary re-queries the new replica
+// set with a higher round and ignores stale-round answers.
 type RecoveryQuery struct {
 	Header
 	Shard uint8
+	Round uint8
 }
 
 func (m *RecoveryQuery) Type() Type    { return TRecoveryQuery }
-func (m *RecoveryQuery) WireSize() int { return hdrSize + 1 }
+func (m *RecoveryQuery) WireSize() int { return hdrSize + 2 }
 func (m *RecoveryQuery) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TRecoveryQuery)
 	w.u8(m.Shard)
+	w.u8(m.Round)
 	return w.b
 }
 
@@ -663,18 +674,20 @@ func (m *RecoveryQuery) Marshal(b []byte) []byte {
 type RecoveryResp struct {
 	Header
 	Shard  uint8
+	Round  uint8
 	Has    bool
 	Writes []KV
 }
 
 func (m *RecoveryResp) Type() Type { return TRecoveryResp }
 func (m *RecoveryResp) WireSize() int {
-	return hdrSize + 2 + kvSize(m.Writes)
+	return hdrSize + 3 + kvSize(m.Writes)
 }
 func (m *RecoveryResp) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TRecoveryResp)
 	w.u8(m.Shard)
+	w.u8(m.Round)
 	if m.Has {
 		w.u8(1)
 	} else {
@@ -703,6 +716,72 @@ func (m *RecoveryDecide) Marshal(b []byte) []byte {
 	} else {
 		w.u8(0)
 	}
+	return w.b
+}
+
+// StatePull asks the current primary of a shard for snapshot chunk Index of
+// its sorted key range (rejoiner -> primary; TxnID 0). Index 0 opens a
+// transfer session: the primary snapshots the shard's key set and starts
+// forwarding every commit it applies from then on, so the union of chunks
+// and forwards is complete — no cutover gap.
+type StatePull struct {
+	Header
+	Shard uint8
+	Index uint32
+}
+
+func (m *StatePull) Type() Type    { return TStatePull }
+func (m *StatePull) WireSize() int { return hdrSize + 5 }
+func (m *StatePull) Marshal(b []byte) []byte {
+	w := &writer{b}
+	m.Header.marshal(w, TStatePull)
+	w.u8(m.Shard)
+	w.u16(uint16(m.Index >> 16))
+	w.u16(uint16(m.Index))
+	return w.b
+}
+
+// StateChunk returns one snapshot chunk; Done marks the last one.
+type StateChunk struct {
+	Header
+	Shard uint8
+	Index uint32
+	Done  bool
+	KVs   []KV
+}
+
+func (m *StateChunk) Type() Type    { return TStateChunk }
+func (m *StateChunk) WireSize() int { return hdrSize + 6 + kvSize(m.KVs) }
+func (m *StateChunk) Marshal(b []byte) []byte {
+	w := &writer{b}
+	m.Header.marshal(w, TStateChunk)
+	w.u8(m.Shard)
+	w.u16(uint16(m.Index >> 16))
+	w.u16(uint16(m.Index))
+	if m.Done {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.kvs(m.KVs)
+	return w.b
+}
+
+// StateForward relays a commit the primary applied while a rejoiner was
+// still catching up (the cutover stream of the state transfer).
+type StateForward struct {
+	Header
+	Shard  uint8
+	Writes []KV
+}
+
+func (m *StateForward) Type() Type    { return TStateForward }
+func (m *StateForward) WireSize() int { return hdrSize + 1 + kvSize(m.Writes) }
+func (m *StateForward) Marshal(b []byte) []byte {
+	w := &writer{b}
+	m.Header.marshal(w, TStateForward)
+	w.u8(m.Shard)
+	w.kvs(m.Writes)
 	return w.b
 }
 
@@ -754,11 +833,20 @@ func Unmarshal(b []byte) (Msg, error) {
 	case TLogCommit:
 		m = &LogCommit{Header: h, Shard: r.u8()}
 	case TRecoveryQuery:
-		m = &RecoveryQuery{Header: h, Shard: r.u8()}
+		m = &RecoveryQuery{Header: h, Shard: r.u8(), Round: r.u8()}
 	case TRecoveryResp:
-		m = &RecoveryResp{Header: h, Shard: r.u8(), Has: r.u8() != 0, Writes: r.kvs()}
+		m = &RecoveryResp{Header: h, Shard: r.u8(), Round: r.u8(), Has: r.u8() != 0, Writes: r.kvs()}
 	case TRecoveryDecide:
 		m = &RecoveryDecide{Header: h, Shard: r.u8(), Commit: r.u8() != 0}
+	case TStatePull:
+		m = &StatePull{Header: h, Shard: r.u8(),
+			Index: uint32(r.u16())<<16 | uint32(r.u16())}
+	case TStateChunk:
+		m = &StateChunk{Header: h, Shard: r.u8(),
+			Index: uint32(r.u16())<<16 | uint32(r.u16()),
+			Done:  r.u8() != 0, KVs: r.kvs()}
+	case TStateForward:
+		m = &StateForward{Header: h, Shard: r.u8(), Writes: r.kvs()}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}
