@@ -4,6 +4,13 @@
 //	xenic-bench -list            # show available experiments
 //	xenic-bench table2 fig8c     # run specific experiments
 //	xenic-bench -quick all       # fast, reduced-scale pass over everything
+//
+// With -telemetry PREFIX every experiment cell records time-resolved series
+// (throughput, latency quantiles, occupancies, queue depths) and the run
+// writes PREFIX-<id>.csv / PREFIX-<id>.json per experiment plus one
+// PREFIX.html dashboard covering them all; -stats-json writes a single
+// machine-readable document combining every report's table, notes, stats
+// snapshots, and bottleneck verdicts.
 package main
 
 import (
@@ -12,10 +19,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"xenic/internal/harness"
 	"xenic/internal/harness/wallbench"
+	"xenic/internal/sim"
+	"xenic/internal/telemetry"
 )
 
 func main() {
@@ -25,8 +35,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	statsOut := flag.String("stats", "", "write per-run stats-registry snapshots to this JSON file")
 	jsonOut := flag.String("json", "", "write machine-readable reports (typed cells) to this JSON file")
+	statsJSONOut := flag.String("stats-json", "", "write one machine-readable document (reports + stats snapshots + bottleneck verdicts) to this JSON file")
+	telemetryOut := flag.String("telemetry", "", "collect time-resolved telemetry; write PREFIX-<id>.csv/.json per experiment and a PREFIX.html dashboard")
+	telIntervalUs := flag.Int("telemetry-interval-us", 100, "telemetry sampling interval in simulated microseconds")
 	wallOut := flag.String("wallbench", "", "time the harness itself (wall seconds, cells/sec, peak RSS, engine allocs/op) and write the result to this JSON file")
-	baselinePath := flag.String("baseline", "", "with -wallbench: compare against this committed baseline, exit nonzero if cells/sec regresses >20% or a hot path allocates")
+	wallTel := flag.Bool("wallbench-telemetry", false, "with -wallbench: run every experiment with a telemetry collector attached (times the sampling overhead; series are discarded)")
+	baselinePath := flag.String("baseline", "", "with -wallbench: compare against this committed baseline, exit nonzero if cells/sec regresses beyond -baseline-frac or a hot path allocates")
+	baseFrac := flag.Float64("baseline-frac", 0.20, "with -baseline: allowed fractional cells/sec regression")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: xenic-bench [-quick] [-seed N] [-j N] <experiment-id>... | all\n\n")
 		fmt.Fprintf(os.Stderr, "experiments:\n")
@@ -55,36 +70,46 @@ func main() {
 	} else {
 		ids = args
 	}
+	telInterval := sim.Time(*telIntervalUs) * sim.Microsecond
 
 	if *wallOut != "" {
 		if len(ids) == 0 {
 			ids = wallbench.DefaultSweep()
 		}
-		res, err := wallbench.Run(harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}, ids)
+		wopt := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+		if *wallTel {
+			wopt.Telemetry = harness.NewTelemetryCollector(telInterval)
+		}
+		res, err := wallbench.Run(wopt, ids)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		writeJSON(*wallOut, res)
-		fmt.Printf("wallbench: %d cells in %.2fs (%.2f cells/sec, -j %d), peak RSS %.1f MiB\n",
-			res.Cells, res.WallSeconds, res.CellsPerSec, res.Workers, float64(res.PeakRSSBytes)/(1<<20))
+		fmt.Printf("wallbench: %d cells in %.2fs (%.2f cells/sec, -j %d, telemetry %v), peak RSS %.1f MiB\n",
+			res.Cells, res.WallSeconds, res.CellsPerSec, res.Workers, res.Telemetry, float64(res.PeakRSSBytes)/(1<<20))
 		for _, e := range res.Engine {
 			fmt.Printf("wallbench: %-22s %8.2f ns/op  %d allocs/op  %d B/op\n",
 				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 		}
 		if *baselinePath != "" {
-			if err := wallbench.Check(res, *baselinePath, 0.20); err != nil {
+			if err := wallbench.Check(res, *baselinePath, *baseFrac); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			fmt.Printf("wallbench: within 20%% of baseline %s\n", *baselinePath)
+			fmt.Printf("wallbench: within %.0f%% of baseline %s\n", 100**baseFrac, *baselinePath)
 		}
 		return
 	}
 
 	opt := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	collectStats := *statsOut != "" || *statsJSONOut != ""
 	allStats := map[string]any{}
 	var reports []*harness.Report
+	// Union of every experiment's telemetry, keyed "<id>/<cell label>", for
+	// the one-file dashboard covering the whole run.
+	allSets := map[string]*telemetry.Set{}
+	allVerdicts := map[string]*telemetry.Verdict{}
 	for _, id := range ids {
 		e, ok := harness.ByID(id)
 		if !ok {
@@ -92,8 +117,13 @@ func main() {
 			os.Exit(2)
 		}
 		o := opt
-		if *statsOut != "" {
+		if collectStats {
 			o.Stats = harness.NewStatsCollector()
+		}
+		var telc *harness.TelemetryCollector
+		if *telemetryOut != "" {
+			telc = harness.NewTelemetryCollector(telInterval)
+			o.Telemetry = telc
 		}
 		start := time.Now()
 		fmt.Printf("# %s (%s)\n# paper: %s\n", e.ID, e.Title, e.PaperRef)
@@ -104,6 +134,14 @@ func main() {
 		}
 		r.Print(os.Stdout)
 		reports = append(reports, r)
+		if telc != nil {
+			writeTelemetry(*telemetryOut, e.ID, telc)
+			verdicts := telc.Verdicts()
+			for label, set := range telc.Sets {
+				allSets[e.ID+"/"+label] = set
+				allVerdicts[e.ID+"/"+label] = verdicts[label]
+			}
+		}
 		fmt.Printf("# wall time: %s\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *statsOut != "" {
@@ -112,6 +150,69 @@ func main() {
 	if *jsonOut != "" {
 		writeJSON(*jsonOut, reports)
 	}
+	if *statsJSONOut != "" {
+		writeJSON(*statsJSONOut, statsDoc(*quick, *seed, reports))
+	}
+	if *telemetryOut != "" && len(allSets) > 0 {
+		path := *telemetryOut + ".html"
+		f, err := os.Create(path)
+		must(err)
+		must(telemetry.WriteHTML(f, "xenic-bench telemetry", allSets, allVerdicts))
+		must(f.Close())
+		fmt.Printf("# telemetry dashboard: %s (%d cells)\n", path, len(allSets))
+	}
+}
+
+// writeTelemetry exports one experiment's collected series as long-form CSV
+// and as JSON with per-cell bottleneck verdicts.
+func writeTelemetry(prefix, id string, c *harness.TelemetryCollector) {
+	csvPath := fmt.Sprintf("%s-%s.csv", prefix, id)
+	f, err := os.Create(csvPath)
+	must(err)
+	must(telemetry.WriteMultiCSV(f, c.Sets))
+	must(f.Close())
+	jsonPath := fmt.Sprintf("%s-%s.json", prefix, id)
+	f, err = os.Create(jsonPath)
+	must(err)
+	must(telemetry.WriteJSON(f, c.Sets, c.Verdicts()))
+	must(f.Close())
+	labels := make([]string, 0, len(c.Sets))
+	for k := range c.Sets {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	fmt.Printf("# telemetry: %d cells -> %s, %s\n", len(labels), csvPath, jsonPath)
+}
+
+// runJSON is one experiment's slice of the -stats-json document.
+type runJSON struct {
+	ID          string                       `json:"id"`
+	Title       string                       `json:"title"`
+	Header      []string                     `json:"header,omitempty"`
+	Cells       [][]harness.Cell             `json:"cells,omitempty"`
+	Notes       []string                     `json:"notes,omitempty"`
+	Stats       map[string]any               `json:"stats,omitempty"`
+	Bottlenecks map[string]telemetry.Verdict `json:"bottlenecks,omitempty"`
+}
+
+// benchDoc is the -stats-json document: every report with its typed table,
+// stats-registry snapshots, and (when -telemetry ran) bottleneck verdicts.
+type benchDoc struct {
+	Schema string    `json:"schema"`
+	Quick  bool      `json:"quick"`
+	Seed   int64     `json:"seed"`
+	Runs   []runJSON `json:"runs"`
+}
+
+func statsDoc(quick bool, seed int64, reports []*harness.Report) benchDoc {
+	doc := benchDoc{Schema: "xenic-bench/1", Quick: quick, Seed: seed}
+	for _, r := range reports {
+		doc.Runs = append(doc.Runs, runJSON{
+			ID: r.ID, Title: r.Title, Header: r.Header, Cells: r.Cells,
+			Notes: r.Notes, Stats: r.Stats, Bottlenecks: r.Bottlenecks,
+		})
+	}
+	return doc
 }
 
 func writeJSON(path string, v any) {
@@ -121,6 +222,13 @@ func writeJSON(path string, v any) {
 		os.Exit(1)
 	}
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func must(err error) {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -6,7 +6,11 @@
 //	xenic-sim -workload tpcc -system drtmh -threads 16 -ms 10
 //
 // With -trace the run emits a Chrome trace-event JSON (open in Perfetto or
-// chrome://tracing); with -stats it writes a stats-registry snapshot.
+// chrome://tracing); with -stats it writes a stats-registry snapshot. With
+// -telemetry PREFIX the run samples time-resolved series (throughput,
+// latency quantiles, occupancies, queue depths) every -telemetry-interval-us
+// of simulated time and writes PREFIX.csv, PREFIX.json, and a PREFIX.html
+// dashboard, printing the bottleneck analyzer's verdict to stdout.
 //
 // With -faults the run injects a deterministic fault plan, e.g.
 //
@@ -33,6 +37,7 @@ import (
 	"strings"
 
 	"xenic"
+	"xenic/internal/telemetry"
 	"xenic/internal/txnmodel"
 )
 
@@ -53,6 +58,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (xenic only)")
 	statsOut := flag.String("stats", "", "write a stats-registry JSON snapshot of the run")
 	faults := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,crash=2@4ms,part=1:2@2ms+1ms")
+	telemetryOut := flag.String("telemetry", "", "sample time-resolved telemetry; write PREFIX.csv, PREFIX.json, PREFIX.html and print the bottleneck verdict")
+	telIntervalUs := flag.Int("telemetry-interval-us", 100, "telemetry sampling interval in simulated microseconds")
 	checkRun := flag.Bool("check", false, "record the transaction history and check serializability + state audits after the run")
 	flag.Parse()
 
@@ -88,6 +95,7 @@ func main() {
 
 	warm := xenic.Time(*warmMS) * xenic.Millisecond
 	win := xenic.Time(*ms) * xenic.Millisecond
+	telInterval := xenic.Time(*telIntervalUs) * xenic.Microsecond
 
 	var hist *xenic.History
 	if *checkRun {
@@ -122,10 +130,16 @@ func main() {
 		if hist != nil {
 			cl.SetHistory(hist)
 		}
+		var tel *xenic.Telemetry
+		if *telemetryOut != "" {
+			tel = xenic.NewTelemetry(telInterval)
+			cl.SetTelemetry(tel)
+		}
 		res := cl.Measure(warm, win)
 		fmt.Printf("xenic/%s: %s\n", gen.Name(), res)
 		writeTrace(*traceOut, tr)
 		writeStats(*statsOut, reg)
+		writeTelemetry(*telemetryOut, "xenic/"+gen.Name(), tel)
 		checkHistory(cl, hist)
 		return
 	}
@@ -167,9 +181,15 @@ func main() {
 	if hist != nil {
 		cl.SetHistory(hist)
 	}
+	var tel *xenic.Telemetry
+	if *telemetryOut != "" {
+		tel = xenic.NewTelemetry(telInterval)
+		cl.SetTelemetry(tel)
+	}
 	res := cl.Measure(warm, win)
 	fmt.Printf("%s/%s: %s\n", sys, gen.Name(), res)
 	writeStats(*statsOut, reg)
+	writeTelemetry(*telemetryOut, fmt.Sprintf("%s/%s", sys, gen.Name()), tel)
 	checkHistory(cl, hist)
 }
 
@@ -204,6 +224,38 @@ func writeTrace(path string, tr *xenic.Tracer) {
 	must(err)
 	must(tr.WriteJSON(f))
 	must(f.Close())
+}
+
+// writeTelemetry stops the sampler and writes the run's series as
+// PREFIX.csv, PREFIX.json, and a PREFIX.html dashboard, printing the
+// bottleneck analyzer's verdict (no-op when -telemetry is unset). Called
+// right after Measure so a -check drain doesn't pad the series with idle
+// samples.
+func writeTelemetry(prefix, label string, tel *xenic.Telemetry) {
+	if prefix == "" || tel == nil {
+		return
+	}
+	tel.Stop()
+	set := tel.Set()
+	v := telemetry.Analyze(set)
+	sets := map[string]*telemetry.Set{label: set}
+	verdicts := map[string]*telemetry.Verdict{label: &v}
+
+	f, err := os.Create(prefix + ".csv")
+	must(err)
+	must(telemetry.WriteCSV(f, set))
+	must(f.Close())
+	f, err = os.Create(prefix + ".json")
+	must(err)
+	must(telemetry.WriteJSON(f, sets, verdicts))
+	must(f.Close())
+	f, err = os.Create(prefix + ".html")
+	must(err)
+	must(telemetry.WriteHTML(f, "xenic-sim "+label, sets, verdicts))
+	must(f.Close())
+	fmt.Printf("bottleneck: %s\n", v.String())
+	fmt.Printf("telemetry: %d samples, %d series -> %s.{csv,json,html}\n",
+		len(set.TimesUs), len(set.Series), prefix)
 }
 
 // writeStats dumps the registry snapshot as JSON to path (no-op when unset).

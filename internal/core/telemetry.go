@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"xenic/internal/sim"
+	"xenic/internal/telemetry"
+	"xenic/internal/wire"
+)
+
+// SetTelemetry registers the cluster's time-series probes on s and starts
+// its sampling ticker. Call after New and before Start so the first window
+// covers the whole run. Probes are read-only views over counters the
+// cluster maintains anyway, so an attached sampler never perturbs the
+// simulation: the transaction schedule is identical with or without it.
+//
+// Per-node scope "node<i>" registers transaction rates and outcomes
+// (commit/abort rates, lock-conflict fraction, in-flight count), windowed
+// latency quantiles and per-phase latency lanes, and the resource gauges
+// the bottleneck analyzer ranks: NIC-core / host-thread / DMA-engine / NIC
+// egress-link occupancy, queue depths and backlogs, lock-table size, and
+// NIC-index cache hit rate. Cluster scope adds the aggregate commit rate
+// and the membership epoch / alive count (so availability arcs are visible
+// in the series).
+func (cl *Cluster) SetTelemetry(s *telemetry.Sampler) {
+	if s == nil {
+		return
+	}
+	for _, n := range cl.nodes {
+		n := n
+		sub := s.Sub(fmt.Sprintf("node%d", n.id))
+		st := &n.stats
+		sub.Rate("txn.commit_rate", func() int64 { return st.Committed })
+		sub.Rate("txn.abort_rate", func() int64 { return st.Aborts })
+		sub.Ratio("txn.lock_conflict_frac",
+			func() int64 { return st.AbortReasons[wire.StatusAbortLocked] },
+			func() int64 { return st.Committed + st.Aborts })
+		sub.Gauge("txn.inflight", func() float64 {
+			v := 0
+			for _, at := range n.app {
+				v += at.outstanding
+			}
+			return float64(v)
+		})
+		sub.Quantiles("latency", st.Latency)
+		for ph := 0; ph < numPhases; ph++ {
+			sub.Window("phase."+phase(ph).String(), st.PhaseLat[ph])
+		}
+
+		nic := n.nic
+		sub.Occupancy("nic.occupancy", func() sim.Time { return nic.Utilization().TotalBusy() }, nic.Cores())
+		sub.Gauge("nic.queue_depth", func() float64 { return float64(nic.QueueDepth()) })
+		host := n.host
+		sub.Occupancy("host.occupancy", func() sim.Time { return host.Utilization().TotalBusy() }, host.Threads())
+		sub.Gauge("host.queue_depth", func() float64 { return float64(host.QueueDepth()) })
+		dma := nic.DMA()
+		sub.Occupancy("dma.occupancy", dma.Busy, 1)
+		sub.Gauge("dma.backlog_us", func() float64 { return dma.Backlog(cl.eng.Now()).Micros() })
+		sub.Occupancy("net.tx_occupancy", func() sim.Time { return cl.nw.TxBusy(n.id) }, cl.nw.Lanes())
+		sub.Gauge("net.egress_backlog_us", func() float64 { return cl.nw.EgressBacklog(n.id).Micros() })
+
+		sub.Gauge("lock.held", func() float64 {
+			v := 0
+			for _, p := range n.prims {
+				v += p.index.Locked()
+			}
+			return float64(v)
+		})
+		sub.Ratio("nicindex.hit_rate",
+			func() int64 {
+				var v int64
+				for _, p := range n.prims {
+					v += p.index.Stats().CacheHits
+				}
+				return v
+			},
+			func() int64 {
+				var v int64
+				for _, p := range n.prims {
+					v += p.index.Stats().Lookups
+				}
+				return v
+			})
+	}
+
+	cs := s.Sub("cluster")
+	cs.Rate("commit_rate", func() int64 {
+		var v int64
+		for _, n := range cl.nodes {
+			v += n.stats.Committed
+		}
+		return v
+	})
+	cs.Gauge("epoch", func() float64 { return float64(cl.view.Epoch) })
+	cs.Gauge("alive", func() float64 {
+		v := 0
+		for _, n := range cl.nodes {
+			if n.alive {
+				v++
+			}
+		}
+		return float64(v)
+	})
+	s.Attach(cl.eng)
+}

@@ -95,6 +95,9 @@ func availabilityCell(opt Options, seed int64) availOutcome {
 		out.err = err
 		return out
 	}
+	// The sampler sees the whole crash→restore arc; it is stopped before the
+	// drain so the series end with the measured timeline.
+	tel := opt.Telemetry.Attach(cl)
 
 	minRepl := func() int {
 		v := cl.View()
@@ -175,6 +178,7 @@ func availabilityCell(opt Options, seed int64) availOutcome {
 		out.postTput = postSum / float64(postN)
 	}
 
+	opt.Telemetry.Done("availability", tel)
 	out.drained = cl.Drain(800 * sim.Millisecond)
 	if !out.drained {
 		out.err = fmt.Errorf("did not drain")
@@ -222,5 +226,9 @@ func runAvailability(opt Options) *Report {
 		r.AddNote("drained; store invariants and replica consistency (including the rebuilt replicas) verified")
 	}
 	r.AddNote("fault-mode throughput is sim-relative: the series shape is the result, not the absolute rate")
+	finishTelemetry(r, opt)
+	if len(r.Bottlenecks) > 0 {
+		r.AddNote("telemetry: crash -> restore arc recorded (cluster.alive / cluster.epoch series); see the dashboard")
+	}
 	return r
 }

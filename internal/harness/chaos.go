@@ -50,7 +50,8 @@ func runChaos(opt Options) *Report {
 		plan := fault.RandomPlan(seed, nodes)
 		var out outcome
 		out.plan = plan
-		out.committed, out.aborts, out.drops, out.drained, out.err = chaosRun(seed, plan, runFor)
+		out.committed, out.aborts, out.drops, out.drained, out.err =
+			chaosRun(seed, plan, runFor, o.Telemetry, fmt.Sprintf("chaos/plan%d", i))
 		return out
 	})
 
@@ -85,12 +86,14 @@ func runChaos(opt Options) *Report {
 		r.AddNote("FAILURES: %d plan(s) violated invariants", fails)
 	}
 	r.AddNote("chaos runs check correctness only; fault-mode throughput is not comparable to the paper's numbers")
+	finishTelemetry(r, opt)
 	return r
 }
 
 // chaosRun executes one fault plan on a fresh cluster and verifies the
-// post-drain invariants.
-func chaosRun(seed int64, plan *fault.Plan, runFor sim.Time) (committed, aborts, drops int64, drained bool, err error) {
+// post-drain invariants. With a telemetry collector attached, the run's
+// series land under label.
+func chaosRun(seed int64, plan *fault.Plan, runFor sim.Time, telc *TelemetryCollector, label string) (committed, aborts, drops int64, drained bool, err error) {
 	g := smallbank.New()
 	g.AccountsPerServer = 2000
 	cfg := core.DefaultConfig()
@@ -104,8 +107,10 @@ func chaosRun(seed int64, plan *fault.Plan, runFor sim.Time) (committed, aborts,
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
+	tel := telc.Attach(cl)
 	cl.Start()
 	cl.Run(runFor)
+	telc.Done(label, tel)
 	drained = cl.Drain(50 * sim.Millisecond)
 	for i := 0; i < cl.Nodes(); i++ {
 		s := cl.Node(i).Stats()

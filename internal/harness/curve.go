@@ -71,8 +71,10 @@ func runCurve(opt Options, windows []int, warm, win sim.Time,
 		if err != nil {
 			panic(err)
 		}
+		tel := o.Telemetry.Attach(sys)
 		res := sys.Measure(warm, win)
 		o.Stats.Snap(label(w), sys.RegisterMetrics)
+		o.Telemetry.Done(label(w), tel)
 		return point{window: w, tput: res.PerServerTput, median: res.Median}
 	})
 }
@@ -113,8 +115,11 @@ func runCurves(s workloadSetup, opt Options, specs []curveSpec, windows []int, w
 		if err != nil {
 			panic(err)
 		}
+		tel := o.Telemetry.Attach(sys)
 		res := sys.Measure(warm, win)
-		o.Stats.Snap(fmt.Sprintf("%s/%s/w%d", s.name, specs[id.spec].stats, w), sys.RegisterMetrics)
+		label := fmt.Sprintf("%s/%s/w%d", s.name, specs[id.spec].stats, w)
+		o.Stats.Snap(label, sys.RegisterMetrics)
+		o.Telemetry.Done(label, tel)
 		return point{window: w, tput: res.PerServerTput, median: res.Median}
 	})
 	out := make([][]point, len(specs))

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"xenic/internal/baseline"
 	"xenic/internal/sim"
 	"xenic/internal/txnmodel"
@@ -192,6 +194,15 @@ func runFig8(opt Options, id string) *Report {
 		}
 		r.AddNote("one-link (50Gbps): Xenic %s vs DrTM+R %s -> %.2fx (paper: 322k vs 150k, 2.1x)",
 			ktps(xe), ktps(dr), ratio)
+	}
+	finishTelemetry(r, opt)
+	if r.Bottlenecks != nil {
+		// Name the limiting resource at the most contended point of the sweep:
+		// the Xenic cell with the largest offered-load window.
+		label := fmt.Sprintf("%s/xenic/w%d", s.name, windows[len(windows)-1])
+		if v, ok := r.Bottlenecks[label]; ok {
+			r.AddNote("bottleneck at window %d: %s", windows[len(windows)-1], v)
+		}
 	}
 	return r
 }

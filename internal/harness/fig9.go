@@ -62,8 +62,10 @@ func runFig9a(opt Options) *Report {
 			if err != nil {
 				panic(err)
 			}
+			tel := o.Telemetry.Attach(dcl)
 			res := dcl.Measure(warm, win)
 			o.Stats.Snap("fig9a/DrTM+H", dcl.RegisterMetrics)
+			o.Telemetry.Done("fig9a/DrTM+H", tel)
 			return res
 		}
 		st := steps[i-1]
@@ -76,8 +78,10 @@ func runFig9a(opt Options) *Report {
 		if err != nil {
 			panic(err)
 		}
+		tel := o.Telemetry.Attach(cl)
 		res := cl.Measure(warm, win)
 		o.Stats.Snap("fig9a/"+st.name, cl.RegisterMetrics)
+		o.Telemetry.Done("fig9a/"+st.name, tel)
 		return res
 	})
 
@@ -98,6 +102,7 @@ func runFig9a(opt Options) *Report {
 		r.AddCells(Text(st.name), Tput(res.PerServerTput), vsBase, vsD)
 	}
 	r.AddNote("paper: 1.00x -> 1.47x -> 1.98x -> 2.30x over baseline; final = 2.07x DrTM+H")
+	finishTelemetry(r, opt)
 	return r
 }
 
@@ -136,8 +141,10 @@ func runFig9b(opt Options) *Report {
 			if err != nil {
 				panic(err)
 			}
+			tel := o.Telemetry.Attach(dcl)
 			res := dcl.Measure(warm, win)
 			o.Stats.Snap("fig9b/DrTM+H", dcl.RegisterMetrics)
+			o.Telemetry.Done("fig9b/DrTM+H", tel)
 			return res
 		}
 		st := steps[i-1]
@@ -150,8 +157,10 @@ func runFig9b(opt Options) *Report {
 		if err != nil {
 			panic(err)
 		}
+		tel := o.Telemetry.Attach(cl)
 		res := cl.Measure(warm, win)
 		o.Stats.Snap("fig9b/"+st.name, cl.RegisterMetrics)
+		o.Telemetry.Done("fig9b/"+st.name, tel)
 		return res
 	})
 
@@ -172,6 +181,7 @@ func runFig9b(opt Options) *Report {
 		r.AddCells(Text(st.name), Micros(res.Median), vsBase, vsD)
 	}
 	r.AddNote("paper: baseline 1.37x DrTM+H; -20%%, -32%%, -42%% vs baseline; final 0.78x DrTM+H")
+	finishTelemetry(r, opt)
 	return r
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"xenic/internal/metrics"
 	"xenic/internal/sim"
+	"xenic/internal/telemetry"
 )
 
 // Options tunes experiment scale.
@@ -29,6 +30,11 @@ type Options struct {
 	// Stats, when non-nil, collects a stats-registry snapshot from every
 	// cluster the experiment measures (cmd/xenic-bench -stats).
 	Stats *StatsCollector
+	// Telemetry, when non-nil, attaches a time-series sampler to every
+	// cluster the experiment measures and collects the exported series per
+	// cell (cmd/xenic-bench -telemetry). Sampling is read-only: reported
+	// numbers are identical with or without a collector attached.
+	Telemetry *TelemetryCollector
 }
 
 // StatsCollector accumulates one stats-registry snapshot per cluster run.
@@ -135,6 +141,10 @@ type Report struct {
 	// Stats holds the per-run stats-registry snapshots collected through
 	// Options.Stats, keyed by run label.
 	Stats map[string]any
+	// Bottlenecks holds the analyzer's per-cell limiting-resource verdicts,
+	// keyed like the telemetry collector's sets. Populated only when
+	// Options.Telemetry is attached.
+	Bottlenecks map[string]telemetry.Verdict
 }
 
 // AddRow appends a formatted row.

@@ -35,10 +35,15 @@ func runCells[T any](opt Options, n int, run func(idx int, opt Options) T) []T {
 		return results
 	}
 	subs := make([]*StatsCollector, n)
+	tsubs := make([]*TelemetryCollector, n)
 	cell := func(i int, o Options) {
 		if o.Stats != nil {
 			subs[i] = NewStatsCollector()
 			o.Stats = subs[i]
+		}
+		if o.Telemetry != nil {
+			tsubs[i] = NewTelemetryCollector(o.Telemetry.Interval)
+			o.Telemetry = tsubs[i]
 		}
 		results[i] = run(i, o)
 		cellsRun.Add(1)
@@ -98,6 +103,11 @@ func runCells[T any](opt Options, n int, run func(idx int, opt Options) T) []T {
 	if opt.Stats != nil {
 		for _, sub := range subs {
 			opt.Stats.merge(sub)
+		}
+	}
+	if opt.Telemetry != nil {
+		for _, sub := range tsubs {
+			opt.Telemetry.merge(sub)
 		}
 	}
 	return results

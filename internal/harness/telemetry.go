@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+
+	"xenic"
+	"xenic/internal/sim"
+	"xenic/internal/telemetry"
+)
+
+// TelemetryCollector accumulates one telemetry series set per measured
+// cluster. Attach one via Options.Telemetry to have every figure/table cell
+// record time-resolved series; cmd/xenic-bench -telemetry exports the union
+// as CSV/JSON plus a single-file HTML dashboard. Like StatsCollector, a
+// collector is not safe for concurrent use: parallel cells each record into
+// a private collector that the pool merges in cell order, so results are
+// identical at every worker count.
+type TelemetryCollector struct {
+	// Interval is the sampling cadence handed to every sampler this
+	// collector creates (telemetry.DefaultInterval when zero).
+	Interval sim.Time
+	Sets     map[string]*telemetry.Set
+	labels   []string
+	keys     []string
+}
+
+// NewTelemetryCollector returns an empty collector sampling every interval.
+func NewTelemetryCollector(interval sim.Time) *TelemetryCollector {
+	return &TelemetryCollector{Interval: interval, Sets: map[string]*telemetry.Set{}}
+}
+
+// Attach creates a sampler, registers sys's probes on it, and returns it
+// for the matching Done call. A nil collector returns a nil sampler and the
+// system is untouched, so runners call Attach/Done unconditionally.
+func (c *TelemetryCollector) Attach(sys xenic.System) *telemetry.Sampler {
+	if c == nil {
+		return nil
+	}
+	s := telemetry.New(c.Interval)
+	sys.SetTelemetry(s)
+	return s
+}
+
+// Done stops s and stores its exported set under label, suffixing "#N" on
+// duplicates (mirroring StatsCollector). Call it as soon as the measured
+// window ends — before any Drain — so series cover only the run.
+func (c *TelemetryCollector) Done(label string, s *telemetry.Sampler) {
+	if c == nil || s == nil {
+		return
+	}
+	s.Stop()
+	c.add(label, s.Set())
+}
+
+func (c *TelemetryCollector) add(label string, set *telemetry.Set) {
+	key := label
+	for i := 2; ; i++ {
+		if _, dup := c.Sets[key]; !dup {
+			break
+		}
+		key = fmt.Sprintf("%s#%d", label, i)
+	}
+	c.Sets[key] = set
+	c.labels = append(c.labels, label)
+	c.keys = append(c.keys, key)
+}
+
+// merge appends every set of sub, in sub's insertion order, re-running
+// duplicate-label resolution against c's contents.
+func (c *TelemetryCollector) merge(sub *TelemetryCollector) {
+	if c == nil || sub == nil {
+		return
+	}
+	for i, label := range sub.labels {
+		c.add(label, sub.Sets[sub.keys[i]])
+	}
+}
+
+// Verdicts runs the bottleneck analyzer over every collected set, keyed
+// like Sets. Nil collector returns nil.
+func (c *TelemetryCollector) Verdicts() map[string]*telemetry.Verdict {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]*telemetry.Verdict, len(c.Sets))
+	for _, k := range c.keys {
+		v := telemetry.Analyze(c.Sets[k])
+		out[k] = &v
+	}
+	return out
+}
+
+// finishTelemetry attaches per-cell bottleneck verdicts to r when telemetry
+// was collected. Runners call it once, after their cells finish.
+func finishTelemetry(r *Report, opt Options) {
+	c := opt.Telemetry
+	if c == nil {
+		return
+	}
+	r.Bottlenecks = map[string]telemetry.Verdict{}
+	for _, k := range c.keys {
+		r.Bottlenecks[k] = telemetry.Analyze(c.Sets[k])
+	}
+}

@@ -36,6 +36,7 @@ type Result struct {
 	Workers     int      `json:"workers"`
 	Seed        int64    `json:"seed"`
 	Quick       bool     `json:"quick"`
+	Telemetry   bool     `json:"telemetry"`
 	GoMaxProcs  int      `json:"gomaxprocs"`
 
 	WallSeconds  float64 `json:"wall_seconds"`
@@ -51,13 +52,17 @@ type Result struct {
 func DefaultSweep() []string { return []string{"fig2", "fig4", "table2"} }
 
 // Run times a sweep of the named experiments under opt and collects the
-// engine hot-path benchmarks.
+// engine hot-path benchmarks. When opt.Telemetry is set, every experiment
+// runs with a fresh telemetry collector at the same interval — the point is
+// to time the sampling overhead (CI gates telemetry-on cells/sec against a
+// telemetry-off baseline), so the collected series are discarded.
 func Run(opt harness.Options, ids []string) (*Result, error) {
 	res := &Result{
 		Experiments: ids,
 		Workers:     opt.Workers,
 		Seed:        opt.Seed,
 		Quick:       opt.Quick,
+		Telemetry:   opt.Telemetry != nil,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 	exps := make([]*harness.Experiment, 0, len(ids))
@@ -71,7 +76,11 @@ func Run(opt harness.Options, ids []string) (*Result, error) {
 	cells0 := harness.CellsRun()
 	start := time.Now()
 	for _, e := range exps {
-		e.Run(opt)
+		o := opt
+		if opt.Telemetry != nil {
+			o.Telemetry = harness.NewTelemetryCollector(opt.Telemetry.Interval)
+		}
+		e.Run(o)
 	}
 	res.WallSeconds = time.Since(start).Seconds()
 	res.Cells = harness.CellsRun() - cells0

@@ -74,6 +74,16 @@ func (h *Host) Rand() *rand.Rand { return h.rng }
 // Utilization returns per-thread busy accounting.
 func (h *Host) Utilization() *metrics.Utilization { return h.util }
 
+// QueueDepth reports the messages queued at the host's thread inboxes right
+// now. A telemetry gauge; O(threads) and read-only.
+func (h *Host) QueueDepth() int {
+	d := 0
+	for _, t := range h.threads {
+		d += len(t.in)
+	}
+	return d
+}
+
 // OnMessage installs the message handler.
 func (h *Host) OnMessage(fn Handler) { h.handler = fn }
 

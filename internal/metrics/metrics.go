@@ -91,16 +91,18 @@ func (h *Histogram) Max() sim.Time {
 	return h.max
 }
 
-// Quantile returns the approximate q-quantile (0 <= q <= 1).
+// Quantile returns the approximate q-quantile (0 <= q <= 1). Edge behavior
+// is exact rather than bucket-approximate: an empty histogram reports 0,
+// q <= 0 reports Min, and q >= 1 reports Max.
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.count == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if q <= 0 {
+		return h.min
 	}
-	if q > 1 {
-		q = 1
+	if q >= 1 {
+		return h.max
 	}
 	target := int64(q * float64(h.count-1))
 	var seen int64
@@ -163,6 +165,72 @@ func (h *Histogram) Snapshot() map[string]any {
 		"min_us":  h.Min().Micros(),
 		"max_us":  h.Max().Micros(),
 	}
+}
+
+// WindowStats summarizes the samples a histogram recorded during one
+// sampling window.
+type WindowStats struct {
+	Count          int64
+	Mean           sim.Time
+	P50, P99, P999 sim.Time
+}
+
+// HistWindow derives windowed statistics from a live histogram: each
+// Advance reports the count, mean, and quantiles of only the samples
+// recorded since the previous Advance, by diffing bucket snapshots. It
+// tolerates the histogram being Reset between Advances (e.g. Measure
+// resetting latency at a window boundary): a shrunken count means the
+// previous snapshot no longer describes a prefix of the data, so the whole
+// current content counts as new.
+type HistWindow struct {
+	h    *Histogram
+	prev Histogram
+}
+
+// NewHistWindow returns a window over h, primed at h's current content (the
+// first Advance reports only samples recorded after this call).
+func NewHistWindow(h *Histogram) *HistWindow {
+	return &HistWindow{h: h, prev: *h}
+}
+
+// Advance reports the window since the last Advance (or construction) and
+// starts the next one.
+func (w *HistWindow) Advance() WindowStats {
+	cur := w.h
+	prev := &w.prev
+	if cur.count < prev.count {
+		*prev = Histogram{}
+	}
+	var out WindowStats
+	out.Count = cur.count - prev.count
+	if out.Count > 0 {
+		out.Mean = (cur.sum - prev.sum) / sim.Time(out.Count)
+		out.P50 = w.diffQuantile(0.50, out.Count)
+		out.P99 = w.diffQuantile(0.99, out.Count)
+		out.P999 = w.diffQuantile(0.999, out.Count)
+	}
+	w.prev = *cur
+	return out
+}
+
+// diffQuantile computes a quantile over the bucket-count deltas between the
+// live histogram and the previous snapshot. Exact min/max are not
+// recoverable from a diff, so edges report the midpoint of the extreme
+// non-empty delta bucket.
+func (w *HistWindow) diffQuantile(q float64, n int64) sim.Time {
+	target := int64(q * float64(n-1))
+	var seen int64
+	for b := range w.h.buckets {
+		d := w.h.buckets[b] - w.prev.buckets[b]
+		if d <= 0 {
+			continue
+		}
+		if seen+d > target {
+			return bucketMid(b)
+		}
+		seen += d
+	}
+	return 0
 }
 
 // intHistDirect is the number of directly-counted values in an IntHist;
@@ -258,7 +326,11 @@ func (c *Counter) Mark(now sim.Time) {
 	c.markAt = now
 }
 
-// Rate reports events/second between the last Mark and now.
+// Rate reports events/second over the window [markAt, now): the events
+// counted since the last Mark, divided by the simulated time elapsed since
+// it. Without a prior Mark the window starts at time 0 with zero events, so
+// Rate is the lifetime average. now at or before the mark (an empty or
+// negative window) reports 0 rather than dividing by it.
 func (c *Counter) Rate(now sim.Time) float64 {
 	dt := (now - c.markAt).Seconds()
 	if dt <= 0 {
@@ -297,6 +369,19 @@ func (u *Utilization) BusyCores(dur sim.Time) float64 {
 	}
 	return float64(total) / float64(dur)
 }
+
+// TotalBusy reports the summed busy time across all cores; samplers diff
+// successive values to derive windowed occupancy.
+func (u *Utilization) TotalBusy() sim.Time {
+	var total sim.Time
+	for _, b := range u.busy {
+		total += b
+	}
+	return total
+}
+
+// Lanes reports the number of cores tracked.
+func (u *Utilization) Lanes() int { return len(u.busy) }
 
 // ActiveCores reports how many cores saw any work.
 func (u *Utilization) ActiveCores() int {

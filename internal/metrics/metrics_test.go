@@ -78,6 +78,63 @@ func TestHistogramMergeReset(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	// Empty: every quantile reports 0, including the out-of-range edges.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v", q, got)
+		}
+	}
+	h.Record(10 * sim.Microsecond)
+	h.Record(20 * sim.Microsecond)
+	h.Record(90 * sim.Microsecond)
+	// q <= 0 is exactly Min and q >= 1 exactly Max, not bucket midpoints.
+	if got := h.Quantile(0); got != 10*sim.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want Min", got)
+	}
+	if got := h.Quantile(-0.5); got != 10*sim.Microsecond {
+		t.Fatalf("Quantile(-0.5) = %v, want Min", got)
+	}
+	if got := h.Quantile(1); got != 90*sim.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want Max", got)
+	}
+	if got := h.Quantile(1.5); got != 90*sim.Microsecond {
+		t.Fatalf("Quantile(1.5) = %v, want Max", got)
+	}
+}
+
+func TestHistWindow(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10 * sim.Microsecond)
+	w := NewHistWindow(h)
+	// The window is primed at construction: pre-existing samples don't count.
+	h.Record(20 * sim.Microsecond)
+	h.Record(40 * sim.Microsecond)
+	s := w.Advance()
+	if s.Count != 2 {
+		t.Fatalf("window count = %d, want 2", s.Count)
+	}
+	if s.Mean != 30*sim.Microsecond {
+		t.Fatalf("window mean = %v, want 30us", s.Mean)
+	}
+	lo, hi := 18*sim.Microsecond, 22*sim.Microsecond
+	if s.P50 < lo || s.P50 > hi {
+		t.Fatalf("window p50 = %v, want ~20us", s.P50)
+	}
+	// An empty window reports zeros.
+	if s = w.Advance(); s.Count != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty window = %+v", s)
+	}
+	// Reset tolerance: after the histogram resets, the whole current content
+	// counts as the new window instead of producing negative deltas.
+	h.Reset()
+	h.Record(5 * sim.Microsecond)
+	if s = w.Advance(); s.Count != 1 || s.Mean != 5*sim.Microsecond {
+		t.Fatalf("post-reset window = %+v", s)
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	h := NewHistogram()
 	h.Record(-5 * sim.Microsecond)
@@ -118,6 +175,21 @@ func TestUtilization(t *testing.T) {
 	u.Reset()
 	if u.BusyCores(1*sim.Second) != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+func TestUtilizationTotalBusyLanes(t *testing.T) {
+	u := NewUtilization(3)
+	if u.Lanes() != 3 {
+		t.Fatalf("Lanes = %d", u.Lanes())
+	}
+	if u.TotalBusy() != 0 {
+		t.Fatalf("fresh TotalBusy = %v", u.TotalBusy())
+	}
+	u.Add(0, 100*sim.Microsecond)
+	u.Add(2, 50*sim.Microsecond)
+	if u.TotalBusy() != 150*sim.Microsecond {
+		t.Fatalf("TotalBusy = %v", u.TotalBusy())
 	}
 }
 

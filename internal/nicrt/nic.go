@@ -128,6 +128,17 @@ func (n *NIC) Stats() Stats { return n.stats }
 // Utilization returns the per-core busy accounting.
 func (n *NIC) Utilization() *metrics.Utilization { return n.util }
 
+// QueueDepth reports the total work queued at the NIC's cores right now:
+// undelivered frames, host packets, DMA completion batches, and injected
+// jobs. A telemetry gauge; O(cores) and read-only.
+func (n *NIC) QueueDepth() int {
+	d := 0
+	for _, c := range n.cores {
+		d += len(c.inFrames) + len(c.inHost) + len(c.dmaDone) + len(c.jobs)
+	}
+	return d
+}
+
 // BatchSizes returns the messages-per-frame distribution.
 func (n *NIC) BatchSizes() *metrics.IntHist { return &n.batchSizes }
 

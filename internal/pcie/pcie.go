@@ -35,6 +35,7 @@ type Engine struct {
 
 	submitBusy  sim.Time // engine-wide vector admission (DMAEngineRate)
 	elementBusy sim.Time // engine-wide element/bandwidth occupancy
+	busy        sim.Time // cumulative element transfer time (occupancy gauge)
 
 	submissions int64
 	elements    int64
@@ -144,6 +145,7 @@ func (d *Engine) Submit(queue int, v *Vector) {
 		}
 		finish += c
 		d.elementBusy = finish
+		d.busy += c
 		d.elements++
 		d.bytes += int64(sz)
 		if v.Write {
@@ -161,6 +163,23 @@ func (d *Engine) Submit(queue int, v *Vector) {
 	if v.Complete != nil {
 		d.eng.At1(finish+lat, d.fireFn, v)
 	}
+}
+
+// Busy reports cumulative element transfer occupancy; telemetry samplers
+// diff successive values to derive windowed DMA-engine utilization. Injected
+// stalls push the busy horizons without accumulating here, so utilization
+// reflects transferred work, not injected dead time.
+func (d *Engine) Busy() sim.Time { return d.busy }
+
+// Backlog reports how far beyond now the engine's element cursor is
+// committed: the time a newly-submitted element would wait behind work
+// already admitted. 0 when the engine is caught up.
+func (d *Engine) Backlog(now sim.Time) sim.Time {
+	b := d.elementBusy - now
+	if b < 0 {
+		return 0
+	}
+	return b
 }
 
 // Submissions reports total vectors submitted.

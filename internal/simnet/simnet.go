@@ -47,6 +47,7 @@ type port struct {
 	txBytes     int64
 	rxBytes     int64
 	txFrames    int64
+	txBusy      sim.Time // cumulative egress serialization time (occupancy gauge)
 }
 
 // Network is the fabric. It is not safe for concurrent use; all access must
@@ -230,6 +231,7 @@ func (n *Network) transmit(f *Frame, attempt int) {
 	src.egressBusy[lane] = egressDone
 	src.txBytes += int64(n.p.WireBytes(f.PayloadBytes))
 	src.txFrames++
+	src.txBusy += ser
 
 	var dupFrame bool
 	var extraDelay sim.Time
@@ -269,6 +271,15 @@ func (n *Network) RxBytes(id int) int64 { return n.ports[id].rxBytes }
 
 // TxFrames reports total frames transmitted by node id.
 func (n *Network) TxFrames(id int) int64 { return n.ports[id].txFrames }
+
+// TxBusy reports node id's cumulative egress serialization time across its
+// lanes (retransmitted frames occupy the wire again and count again);
+// telemetry samplers diff successive values to derive windowed link
+// utilization.
+func (n *Network) TxBusy(id int) sim.Time { return n.ports[id].txBusy }
+
+// Lanes reports the number of egress lanes per port.
+func (n *Network) Lanes() int { return n.p.LinksPerNode }
 
 // EgressBacklog reports how far beyond now the node's least-busy egress lane
 // is committed; runtimes use it for backpressure.

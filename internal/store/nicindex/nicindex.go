@@ -105,6 +105,7 @@ type Index struct {
 	objects  map[uint64]*Object
 	ring     []uint64 // CLOCK ring of cached keys
 	hand     int
+	nlocked  int // currently-locked keys (telemetry gauge, kept O(1))
 	stats    Stats
 
 	lockTrace LockTrace
@@ -145,6 +146,10 @@ func (x *Index) SetLockTrace(fn LockTrace) { x.lockTrace = fn }
 
 // CachedValues reports how many objects currently have cached values.
 func (x *Index) CachedValues() int { return x.cached }
+
+// Locked reports how many keys are currently locked. Maintained as a
+// counter so telemetry gauges avoid an O(objects) scan.
+func (x *Index) Locked() int { return x.nlocked }
 
 // Meta returns the metadata entry for key if one exists.
 func (x *Index) Meta(key uint64) (*Object, bool) {
@@ -349,6 +354,9 @@ func (x *Index) TryLock(key, owner uint64) bool {
 		}
 		return false
 	}
+	if !o.Locked {
+		x.nlocked++
+	}
 	o.Locked = true
 	o.LockOwner = owner
 	if x.lockTrace != nil {
@@ -372,6 +380,7 @@ func (x *Index) Unlock(key, owner uint64) {
 	}
 	o.Locked = false
 	o.LockOwner = 0
+	x.nlocked--
 	if x.lockTrace != nil {
 		x.lockTrace("unlock", key, owner, true)
 	}
@@ -391,6 +400,7 @@ func (x *Index) UnlockIf(key, owner uint64) {
 	}
 	o.Locked = false
 	o.LockOwner = 0
+	x.nlocked--
 	if x.lockTrace != nil {
 		x.lockTrace("unlock", key, owner, true)
 	}
@@ -432,6 +442,7 @@ func (x *Index) ForceUnlockAll() {
 		o.LockOwner = 0
 		o.Pinned = 0
 	}
+	x.nlocked = 0
 }
 
 // ApplyCommit installs a committed write into the cache, bumps the version,

@@ -1,0 +1,354 @@
+// Single-file HTML dashboard. The generated page embeds the telemetry JSON
+// document and renders per-cell time-series lanes — throughput, latency
+// quantiles, abort rate, queue depths, DMA backlog — with one line per node,
+// entirely self-contained (inline CSS/JS/SVG, no external resources), so the
+// file can be attached to a CI run or mailed around and still open.
+//
+// Visual conventions follow one consistent scheme: each node keeps the same
+// categorical hue in every lane (color follows the entity), every lane has
+// exactly one y-axis, lines are 2px with a legend plus crosshair tooltip,
+// grids are solid hairlines, dark mode re-steps the same hues for the dark
+// surface, and every lane carries a table view so no value is hover-gated.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+)
+
+var htmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+// WriteHTML writes the dashboard page for labelled sets (verdicts may be nil
+// or sparse). The embedded data blob uses the same schema as WriteJSON.
+func WriteHTML(w io.Writer, title string, sets map[string]*Set, verdicts map[string]*Verdict) error {
+	labels := make([]string, 0, len(sets))
+	for l := range sets {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	doc := fileJSON{Schema: SchemaVersion}
+	for _, l := range labels {
+		doc.Cells = append(doc.Cells, cellJSON{Cell: l, Bottleneck: verdicts[l], Set: sets[l]})
+	}
+	blob, err := json.Marshal(doc) // escapes <, >, & inside strings
+	if err != nil {
+		return err
+	}
+	page := strings.Replace(dashboardPage, "__TITLE__", htmlEscaper.Replace(title), 2)
+	head, tail, _ := strings.Cut(page, "__DATA__")
+	if _, err := io.WriteString(w, head); err != nil {
+		return err
+	}
+	if _, err := w.Write(blob); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, tail)
+	return err
+}
+
+const dashboardPage = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>__TITLE__</title>
+<style>
+:root {
+  color-scheme: light dark;
+  --page: #f9f9f7; --surface: #fcfcfb;
+  --ink: #0b0b0b; --ink-2: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7; --ring: rgba(11,11,11,0.10);
+  --s0: #2a78d6; --s1: #eb6834; --s2: #1baf7a; --s3: #eda100;
+  --s4: #e87ba4; --s5: #008300; --s6: #4a3aa7; --s7: #e34948;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    --page: #0d0d0d; --surface: #1a1a19;
+    --ink: #ffffff; --ink-2: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --axis: #383835; --ring: rgba(255,255,255,0.10);
+    --s0: #3987e5; --s1: #d95926; --s2: #199e70; --s3: #c98500;
+    --s4: #d55181; --s5: #008300; --s6: #9085e9; --s7: #e66767;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 18px; font-weight: 600; margin: 0 0 4px; }
+.sub { color: var(--ink-2); margin: 0 0 16px; }
+.filters {
+  display: flex; gap: 16px; align-items: center; flex-wrap: wrap;
+  margin: 0 0 8px;
+}
+.filters label { color: var(--ink-2); font-size: 13px; }
+.filters select {
+  font: inherit; color: var(--ink); background: var(--surface);
+  border: 1px solid var(--ring); border-radius: 6px; padding: 4px 8px;
+}
+.verdict { margin: 8px 0 16px; color: var(--ink-2); }
+.verdict b { color: var(--ink); font-weight: 600; }
+.lane {
+  background: var(--surface); border: 1px solid var(--ring);
+  border-radius: 10px; padding: 16px 16px 8px; margin: 0 0 16px;
+  position: relative;
+}
+.lane h3 { font-size: 14px; font-weight: 600; margin: 0 0 2px; }
+.lane h3 .unit { color: var(--muted); font-weight: 400; }
+.legend { display: flex; gap: 14px; flex-wrap: wrap; margin: 2px 0 6px; }
+.legend .key { display: inline-flex; align-items: center; gap: 6px; color: var(--ink-2); font-size: 12px; }
+.swatch { width: 14px; height: 3px; border-radius: 2px; display: inline-block; }
+svg { display: block; width: 100%; height: auto; }
+svg text { font: 11px system-ui, sans-serif; fill: var(--muted); font-variant-numeric: tabular-nums; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+.xhair { stroke: var(--axis); stroke-width: 1; }
+.hit { fill: transparent; outline: none; }
+.hit:focus-visible { stroke: var(--s0); stroke-width: 1; }
+.c0 { stroke: var(--s0); } .c1 { stroke: var(--s1); } .c2 { stroke: var(--s2); } .c3 { stroke: var(--s3); }
+.c4 { stroke: var(--s4); } .c5 { stroke: var(--s5); } .c6 { stroke: var(--s6); } .c7 { stroke: var(--s7); }
+.b0 { background: var(--s0); } .b1 { background: var(--s1); } .b2 { background: var(--s2); } .b3 { background: var(--s3); }
+.b4 { background: var(--s4); } .b5 { background: var(--s5); } .b6 { background: var(--s6); } .b7 { background: var(--s7); }
+.tip {
+  position: absolute; pointer-events: none; display: none; z-index: 2;
+  background: var(--surface); border: 1px solid var(--ring); border-radius: 8px;
+  padding: 8px 10px; box-shadow: 0 2px 8px rgba(0,0,0,0.12); font-size: 12px;
+  min-width: 150px;
+}
+.tip .t { color: var(--muted); margin-bottom: 4px; }
+.tip .row { display: flex; align-items: center; gap: 6px; }
+.tip .v { font-weight: 600; font-variant-numeric: tabular-nums; }
+.tip .n { color: var(--ink-2); }
+details { margin: 6px 0 8px; }
+summary { color: var(--muted); font-size: 12px; cursor: pointer; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 6px; }
+th, td {
+  text-align: right; padding: 2px 10px; font-variant-numeric: tabular-nums;
+  border-bottom: 1px solid var(--grid); color: var(--ink-2);
+}
+th { color: var(--muted); font-weight: 500; }
+.empty { color: var(--muted); padding: 32px 0; text-align: center; }
+</style>
+</head>
+<body>
+<h1>__TITLE__</h1>
+<p class="sub">Simulated-time telemetry; one line per node in every lane.</p>
+<div class="filters">
+  <label>Cell <select id="cell"></select></label>
+  <label>Latency quantile <select id="q">
+    <option value="p50">p50</option>
+    <option value="p99" selected>p99</option>
+    <option value="p999">p999</option>
+  </select></label>
+</div>
+<div class="verdict" id="verdict"></div>
+<div id="lanes"></div>
+<script id="data" type="application/json">__DATA__</script>
+<script>
+(function () {
+  'use strict';
+  var doc = JSON.parse(document.getElementById('data').textContent);
+  var cells = doc.cells || [];
+  var SVGNS = 'http://www.w3.org/2000/svg';
+  var W = 900, H = 200, ML = 64, MR = 12, MT = 10, MB = 26;
+
+  function el(tag, cls, text) {
+    var e = document.createElement(tag);
+    if (cls) e.className = cls;
+    if (text !== undefined) e.textContent = text;
+    return e;
+  }
+  function svgEl(tag, attrs) {
+    var e = document.createElementNS(SVGNS, tag);
+    for (var k in attrs) e.setAttribute(k, attrs[k]);
+    return e;
+  }
+  function lanes(q) {
+    return [
+      { title: 'Throughput', unit: 'txn/s', re: /^node(\d+)\.txn\.commit_rate$/ },
+      { title: 'Latency ' + q, unit: 'µs', re: new RegExp('^node(\\d+)\\.latency\\.' + q + '_us$') },
+      { title: 'Abort rate', unit: 'aborts/s', re: /^node(\d+)\.txn\.abort_rate$/ },
+      { title: 'NIC queue depth', unit: 'messages', re: /^node(\d+)\.nic\.queue_depth$/ },
+      { title: 'Host queue depth', unit: 'messages', re: /^node(\d+)\.host\.queue_depth$/ },
+      { title: 'DMA backlog', unit: 'µs', re: /^node(\d+)\.dma\.backlog_us$/ }
+    ];
+  }
+  function pick(set, re) {
+    var out = [];
+    for (var i = 0; i < (set.series || []).length; i++) {
+      var m = re.exec(set.series[i].name);
+      if (m) out.push({ node: +m[1], label: 'node' + m[1], vals: set.series[i].vals || [] });
+    }
+    out.sort(function (a, b) { return a.node - b.node; });
+    return out.slice(0, 8); // eight categorical slots; never cycle hues
+  }
+  function niceCeil(v) {
+    if (!(v > 0)) return 1;
+    var k = Math.pow(10, Math.floor(Math.log10(v)));
+    var steps = [1, 2, 5, 10];
+    for (var i = 0; i < steps.length; i++) if (steps[i] * k >= v) return steps[i] * k;
+    return 10 * k;
+  }
+  function fmt(v) {
+    if (Math.abs(v) >= 1000) return v.toLocaleString('en-US', { maximumFractionDigits: 0 });
+    if (Math.abs(v) >= 10) return v.toFixed(1);
+    return v.toFixed(2);
+  }
+
+  function renderLane(parent, lane, set) {
+    var series = pick(set, lane.re);
+    if (!series.length) return;
+    var t = set.t_us || [];
+    var n = t.length;
+    if (!n) return;
+
+    var card = el('div', 'lane');
+    var h = el('h3', null, lane.title + ' ');
+    h.appendChild(el('span', 'unit', '(' + lane.unit + ')'));
+    card.appendChild(h);
+
+    if (series.length > 1) {
+      var leg = el('div', 'legend');
+      series.forEach(function (s, i) {
+        var key = el('span', 'key');
+        key.appendChild(el('span', 'swatch b' + (i % 8)));
+        key.appendChild(document.createTextNode(s.label));
+        leg.appendChild(key);
+      });
+      card.appendChild(leg);
+    }
+
+    var ymax = 0;
+    series.forEach(function (s) {
+      for (var i = 0; i < s.vals.length; i++) if (s.vals[i] > ymax) ymax = s.vals[i];
+    });
+    ymax = niceCeil(ymax);
+    var x0 = t[0], x1 = t[n - 1];
+    if (x1 <= x0) x1 = x0 + 1;
+    var px = function (v) { return ML + (v - x0) / (x1 - x0) * (W - ML - MR); };
+    var py = function (v) { return H - MB - v / ymax * (H - MT - MB); };
+
+    var svg = svgEl('svg', { viewBox: '0 0 ' + W + ' ' + H, role: 'img' });
+    for (var g = 0; g <= 4; g++) {
+      var yv = ymax * g / 4;
+      var y = py(yv);
+      svg.appendChild(svgEl('line', { x1: ML, x2: W - MR, y1: y, y2: y, 'class': g === 0 ? 'axis' : 'grid' }));
+      var lab = svgEl('text', { x: ML - 8, y: y + 4, 'text-anchor': 'end' });
+      lab.textContent = fmt(yv);
+      svg.appendChild(lab);
+    }
+    [x0, (x0 + x1) / 2, x1].forEach(function (xv) {
+      var lab = svgEl('text', { x: px(xv), y: H - 8, 'text-anchor': 'middle' });
+      lab.textContent = fmt(xv / 1000) + ' ms';
+      svg.appendChild(lab);
+    });
+    series.forEach(function (s, i) {
+      var d = '';
+      for (var j = 0; j < Math.min(n, s.vals.length); j++) {
+        d += (j ? 'L' : 'M') + px(t[j]).toFixed(1) + ' ' + py(Math.min(s.vals[j], ymax)).toFixed(1);
+      }
+      svg.appendChild(svgEl('path', { d: d, 'class': 'line c' + (i % 8) }));
+    });
+    var xhair = svgEl('line', { y1: MT, y2: H - MB, 'class': 'xhair', visibility: 'hidden' });
+    svg.appendChild(xhair);
+    var hit = svgEl('rect', { x: ML, y: MT, width: W - ML - MR, height: H - MT - MB, 'class': 'hit', tabindex: '0' });
+    svg.appendChild(hit);
+    card.appendChild(svg);
+
+    var tip = el('div', 'tip');
+    card.appendChild(tip);
+    var cur = -1;
+    function show(idx) {
+      cur = Math.max(0, Math.min(n - 1, idx));
+      var x = px(t[cur]);
+      xhair.setAttribute('x1', x); xhair.setAttribute('x2', x);
+      xhair.setAttribute('visibility', 'visible');
+      tip.textContent = '';
+      tip.appendChild(el('div', 't', 't = ' + fmt(t[cur] / 1000) + ' ms'));
+      series.forEach(function (s, i) {
+        var row = el('div', 'row');
+        row.appendChild(el('span', 'swatch b' + (i % 8)));
+        row.appendChild(el('span', 'v', cur < s.vals.length ? fmt(s.vals[cur]) : '—'));
+        row.appendChild(el('span', 'n', s.label));
+        tip.appendChild(row);
+      });
+      tip.style.display = 'block';
+      var rect = card.getBoundingClientRect();
+      var sr = svg.getBoundingClientRect();
+      var fx = sr.left - rect.left + x / W * sr.width;
+      tip.style.left = Math.min(fx + 12, rect.width - tip.offsetWidth - 8) + 'px';
+      tip.style.top = (sr.top - rect.top + 8) + 'px';
+    }
+    function hide() { tip.style.display = 'none'; xhair.setAttribute('visibility', 'hidden'); cur = -1; }
+    hit.addEventListener('pointermove', function (ev) {
+      var sr = svg.getBoundingClientRect();
+      var vx = (ev.clientX - sr.left) / sr.width * W;
+      var frac = (vx - ML) / (W - ML - MR);
+      show(Math.round(frac * (n - 1)));
+    });
+    hit.addEventListener('pointerleave', hide);
+    hit.addEventListener('focus', function () { show(cur < 0 ? Math.floor(n / 2) : cur); });
+    hit.addEventListener('blur', hide);
+    hit.addEventListener('keydown', function (ev) {
+      if (ev.key === 'ArrowLeft') { show((cur < 0 ? Math.floor(n / 2) : cur) - 1); ev.preventDefault(); }
+      if (ev.key === 'ArrowRight') { show((cur < 0 ? Math.floor(n / 2) : cur) + 1); ev.preventDefault(); }
+    });
+
+    var det = el('details');
+    det.appendChild(el('summary', null, 'Table view'));
+    var tbl = el('table');
+    var hr = el('tr');
+    hr.appendChild(el('th', null, 't (µs)'));
+    series.forEach(function (s) { hr.appendChild(el('th', null, s.label)); });
+    tbl.appendChild(hr);
+    for (var r = 0; r < n; r++) {
+      var tr = el('tr');
+      tr.appendChild(el('td', null, fmt(t[r])));
+      series.forEach(function (s) { tr.appendChild(el('td', null, r < s.vals.length ? fmt(s.vals[r]) : '')); });
+      tbl.appendChild(tr);
+    }
+    det.appendChild(tbl);
+    card.appendChild(det);
+    parent.appendChild(card);
+  }
+
+  var cellSel = document.getElementById('cell');
+  var qSel = document.getElementById('q');
+  cells.forEach(function (c, i) {
+    var o = document.createElement('option');
+    o.value = String(i);
+    o.textContent = c.cell;
+    cellSel.appendChild(o);
+  });
+
+  function render() {
+    var c = cells[+cellSel.value] || cells[0];
+    var verdict = document.getElementById('verdict');
+    verdict.textContent = '';
+    var parent = document.getElementById('lanes');
+    parent.textContent = '';
+    if (!c) { parent.appendChild(el('div', 'empty', 'No telemetry cells in this file.')); return; }
+    if (c.bottleneck) {
+      verdict.appendChild(el('b', null, 'Bottleneck: ' + c.bottleneck.resource +
+        (c.bottleneck.node ? ' @ ' + c.bottleneck.node : '') + '.'));
+      verdict.appendChild(document.createTextNode(' ' + (c.bottleneck.detail || '')));
+    }
+    var any = false;
+    lanes(qSel.value).forEach(function (lane) {
+      var before = parent.childElementCount;
+      renderLane(parent, lane, c);
+      if (parent.childElementCount > before) any = true;
+    });
+    if (!any) parent.appendChild(el('div', 'empty', 'No samples recorded for this cell.'));
+  }
+  cellSel.addEventListener('change', render);
+  qSel.addEventListener('change', render);
+  render();
+})();
+</script>
+</body>
+</html>
+`

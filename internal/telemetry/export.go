@@ -1,0 +1,143 @@
+// Series export: CSV for spreadsheet/gnuplot consumption and JSON for
+// machine analysis. Both are deterministic — series are sorted by name, cell
+// labels are sorted, and floats format with strconv's shortest round-trip
+// representation — so two identically-seeded runs export byte-identical
+// files (the CI determinism gate diffs them).
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+func appendFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// WriteCSV writes one set as CSV with a t_us time column followed by every
+// series in name order.
+func WriteCSV(w io.Writer, set *Set) error {
+	bw := bufio.NewWriter(w)
+	var line []byte
+	line = append(line, "t_us"...)
+	for i := range set.Series {
+		line = append(line, ',')
+		line = append(line, set.Series[i].Name...)
+	}
+	line = append(line, '\n')
+	if _, err := bw.Write(line); err != nil {
+		return err
+	}
+	for i := range set.TimesUs {
+		line = line[:0]
+		line = appendFloat(line, set.TimesUs[i])
+		for j := range set.Series {
+			line = append(line, ',')
+			if i < len(set.Series[j].Vals) {
+				line = appendFloat(line, set.Series[j].Vals[i])
+			}
+		}
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMultiCSV writes several labelled sets as one CSV in long form: a
+// leading cell column, the time column, then the union of all series names.
+// Cells missing a series leave its field empty.
+func WriteMultiCSV(w io.Writer, sets map[string]*Set) error {
+	labels := make([]string, 0, len(sets))
+	for l := range sets {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	seen := map[string]bool{}
+	var names []string
+	for _, l := range labels {
+		for i := range sets[l].Series {
+			if n := sets[l].Series[i].Name; !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	var line []byte
+	line = append(line, "cell,t_us"...)
+	for _, n := range names {
+		line = append(line, ',')
+		line = append(line, n...)
+	}
+	line = append(line, '\n')
+	if _, err := bw.Write(line); err != nil {
+		return err
+	}
+	for _, l := range labels {
+		set := sets[l]
+		col := make(map[string]int, len(set.Series))
+		for i := range set.Series {
+			col[set.Series[i].Name] = i
+		}
+		for i := range set.TimesUs {
+			line = line[:0]
+			line = append(line, l...)
+			line = append(line, ',')
+			line = appendFloat(line, set.TimesUs[i])
+			for _, n := range names {
+				line = append(line, ',')
+				if j, ok := col[n]; ok && i < len(set.Series[j].Vals) {
+					line = appendFloat(line, set.Series[j].Vals[i])
+				}
+			}
+			line = append(line, '\n')
+			if _, err := bw.Write(line); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// cellJSON is one cell's telemetry in the JSON export.
+type cellJSON struct {
+	Cell       string   `json:"cell"`
+	Bottleneck *Verdict `json:"bottleneck,omitempty"`
+	*Set
+}
+
+// fileJSON is the top-level JSON export schema.
+type fileJSON struct {
+	Schema string     `json:"schema"`
+	Cells  []cellJSON `json:"cells"`
+}
+
+// SchemaVersion identifies the JSON export layout; bump it when the shape
+// changes so downstream tooling can detect drift.
+const SchemaVersion = "xenic-telemetry/1"
+
+// WriteJSON writes labelled sets (with per-cell bottleneck verdicts, which
+// may be nil) as one indented JSON document. Determinism comes from sorted
+// labels and struct-typed encoding — no map iteration reaches the encoder.
+func WriteJSON(w io.Writer, sets map[string]*Set, verdicts map[string]*Verdict) error {
+	labels := make([]string, 0, len(sets))
+	for l := range sets {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	doc := fileJSON{Schema: SchemaVersion}
+	for _, l := range labels {
+		doc.Cells = append(doc.Cells, cellJSON{Cell: l, Bottleneck: verdicts[l], Set: sets[l]})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,276 @@
+// Package telemetry is the time-resolved observability pipeline: a
+// deterministic, simulated-time sampler that periodically reads registered
+// probes — counters become windowed rates, histograms become windowed
+// quantiles, gauges are read directly — into per-node, per-resource time
+// series. Sampling is read-only: probe callbacks never mutate simulation
+// state, never touch the engine PRNG, and never schedule work, so a run with
+// telemetry attached executes the same transaction schedule as one without
+// (the overhead rule: telemetry off must be byte-identical, telemetry on must
+// be behavior-identical).
+//
+// The pipeline is pull-based. Components expose cheap cumulative counters
+// (busy picoseconds, event counts, queue depths); the sampler diffs them at
+// each tick, so the instrumented code pays nothing between samples and the
+// per-sample cost is O(probes).
+package telemetry
+
+import (
+	"sort"
+
+	"xenic/internal/metrics"
+	"xenic/internal/sim"
+)
+
+// maxSamples caps series length as a backstop against unbounded growth when
+// a sampler is left attached across a very long run (e.g. a drain loop that
+// the caller forgot to Stop around). 20000 samples at the default 100µs
+// interval covers 2 simulated seconds.
+const maxSamples = 20000
+
+// DefaultInterval is the sampling cadence used when none is given: 100µs of
+// simulated time, fine enough to resolve the 500µs availability buckets and
+// coarse enough that a 40ms run yields 400 samples.
+const DefaultInterval = 100 * sim.Microsecond
+
+// Series is one named time series; Vals[i] is the sample taken at
+// Set.TimesUs[i].
+type Series struct {
+	Name string    `json:"name"`
+	Vals []float64 `json:"vals"`
+}
+
+// Set is an exported snapshot of everything a sampler recorded: a shared
+// time axis plus the series, sorted by name so every export is
+// deterministic.
+type Set struct {
+	IntervalUs float64   `json:"interval_us"`
+	TimesUs    []float64 `json:"t_us"`
+	Series     []Series  `json:"series"`
+}
+
+// state is the shared sampler core; Sampler values are light prefix views
+// over it (mirroring metrics.Registry and its Sub scopes).
+type state struct {
+	interval sim.Time
+	attached bool
+	stopped  bool
+	lastTick sim.Time
+
+	times  []sim.Time
+	series []*Series           // registration order; sorted at export
+	probes []func(dt sim.Time) // each appends one tick's values to its series
+}
+
+// Sampler collects time series from registered probes on a fixed
+// simulated-time cadence. A nil *Sampler is valid and inert: every method
+// no-ops, so call sites need no telemetry-enabled checks. Register all
+// probes before Attach; each probe primes its "previous" cursor at
+// registration time.
+type Sampler struct {
+	st     *state
+	prefix string
+}
+
+// New creates a sampler with the given interval (DefaultInterval if
+// non-positive).
+func New(interval sim.Time) *Sampler {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	return &Sampler{st: &state{interval: interval}}
+}
+
+// Interval returns the sampling cadence (0 on a nil sampler).
+func (s *Sampler) Interval() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.st.interval
+}
+
+// Sub returns a view that prefixes every registered series name with
+// "scope." — e.g. Sub("node2").Gauge("txn.inflight", ...) records
+// "node2.txn.inflight".
+func (s *Sampler) Sub(scope string) *Sampler {
+	if s == nil {
+		return nil
+	}
+	return &Sampler{st: s.st, prefix: s.prefix + scope + "."}
+}
+
+func (s *Sampler) newSeries(name string) *Series {
+	se := &Series{Name: s.prefix + name}
+	s.st.series = append(s.st.series, se)
+	return se
+}
+
+// Gauge samples fn directly at each tick: an instantaneous reading (queue
+// depth, in-flight count, backlog).
+func (s *Sampler) Gauge(name string, fn func() float64) {
+	if s == nil {
+		return
+	}
+	se := s.newSeries(name)
+	s.st.probes = append(s.st.probes, func(dt sim.Time) {
+		se.Vals = append(se.Vals, fn())
+	})
+}
+
+// Rate turns a monotone event counter into events/second over each sampling
+// window. A counter reset (cur < prev) restarts the window from zero.
+func (s *Sampler) Rate(name string, fn func() int64) {
+	if s == nil {
+		return
+	}
+	se := s.newSeries(name)
+	prev := fn()
+	s.st.probes = append(s.st.probes, func(dt sim.Time) {
+		cur := fn()
+		d := cur - prev
+		if d < 0 {
+			d = cur
+		}
+		prev = cur
+		se.Vals = append(se.Vals, float64(d)/dt.Seconds())
+	})
+}
+
+// Occupancy turns cumulative busy time spread over `lanes` parallel lanes
+// (cores, threads, links) into fractional utilization per window:
+// Δbusy / (Δt · lanes), so 1.0 means every lane was busy the whole window.
+func (s *Sampler) Occupancy(name string, busy func() sim.Time, lanes int) {
+	if s == nil {
+		return
+	}
+	if lanes <= 0 {
+		lanes = 1
+	}
+	se := s.newSeries(name)
+	prev := busy()
+	s.st.probes = append(s.st.probes, func(dt sim.Time) {
+		cur := busy()
+		d := cur - prev
+		if d < 0 {
+			d = 0
+		}
+		prev = cur
+		se.Vals = append(se.Vals, float64(d)/(float64(dt)*float64(lanes)))
+	})
+}
+
+// Ratio records Δnum/Δden per window (e.g. cache hits over lookups, lock
+// aborts over attempts); windows where the denominator did not move record
+// 0.
+func (s *Sampler) Ratio(name string, num, den func() int64) {
+	if s == nil {
+		return
+	}
+	se := s.newSeries(name)
+	pn, pd := num(), den()
+	s.st.probes = append(s.st.probes, func(dt sim.Time) {
+		cn, cd := num(), den()
+		dn, dd := cn-pn, cd-pd
+		pn, pd = cn, cd
+		v := 0.0
+		if dd > 0 && dn >= 0 {
+			v = float64(dn) / float64(dd)
+		}
+		se.Vals = append(se.Vals, v)
+	})
+}
+
+// Quantiles tracks a latency histogram as four windowed series:
+// name.p50_us, name.p99_us, name.p999_us and name.rate (samples/second).
+// Quantiles are computed from the bucket deltas between ticks, so they
+// describe only the window, not the lifetime distribution; a histogram
+// Reset between ticks restarts the window.
+func (s *Sampler) Quantiles(name string, h *metrics.Histogram) {
+	if s == nil {
+		return
+	}
+	w := metrics.NewHistWindow(h)
+	p50 := s.newSeries(name + ".p50_us")
+	p99 := s.newSeries(name + ".p99_us")
+	p999 := s.newSeries(name + ".p999_us")
+	rate := s.newSeries(name + ".rate")
+	s.st.probes = append(s.st.probes, func(dt sim.Time) {
+		ws := w.Advance()
+		p50.Vals = append(p50.Vals, ws.P50.Micros())
+		p99.Vals = append(p99.Vals, ws.P99.Micros())
+		p999.Vals = append(p999.Vals, ws.P999.Micros())
+		rate.Vals = append(rate.Vals, float64(ws.Count)/dt.Seconds())
+	})
+}
+
+// Window tracks a histogram as two windowed series — name.mean_us and
+// name.rate — the cheap form of Quantiles for per-phase latency lanes where
+// mean × rate gives each phase's share of critical-path time.
+func (s *Sampler) Window(name string, h *metrics.Histogram) {
+	if s == nil {
+		return
+	}
+	w := metrics.NewHistWindow(h)
+	mean := s.newSeries(name + ".mean_us")
+	rate := s.newSeries(name + ".rate")
+	s.st.probes = append(s.st.probes, func(dt sim.Time) {
+		ws := w.Advance()
+		mean.Vals = append(mean.Vals, ws.Mean.Micros())
+		rate.Vals = append(rate.Vals, float64(ws.Count)/dt.Seconds())
+	})
+}
+
+// Attach starts the sampling ticker on eng. The first sample lands one
+// interval after Attach; sampling continues until Stop (or the maxSamples
+// backstop). Attach is idempotent — a second call is ignored.
+func (s *Sampler) Attach(eng *sim.Engine) {
+	if s == nil || s.st.attached {
+		return
+	}
+	st := s.st
+	st.attached = true
+	st.lastTick = eng.Now()
+	eng.Ticker(st.interval, func() bool {
+		if st.stopped || len(st.times) >= maxSamples {
+			return false
+		}
+		now := eng.Now()
+		dt := now - st.lastTick
+		st.lastTick = now
+		st.times = append(st.times, now)
+		for _, p := range st.probes {
+			p(dt)
+		}
+		return true
+	})
+}
+
+// Stop ends sampling at the next tick. Call it before long drain phases so
+// the series cover only the measured run.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.st.stopped = true
+}
+
+// Set exports a snapshot of everything recorded so far, with series sorted
+// by name. The snapshot is a deep copy; further sampling does not alias it.
+func (s *Sampler) Set() *Set {
+	if s == nil {
+		return nil
+	}
+	st := s.st
+	out := &Set{IntervalUs: st.interval.Micros()}
+	out.TimesUs = make([]float64, len(st.times))
+	for i, t := range st.times {
+		out.TimesUs[i] = t.Micros()
+	}
+	out.Series = make([]Series, 0, len(st.series))
+	for _, se := range st.series {
+		vals := make([]float64, len(se.Vals))
+		copy(vals, se.Vals)
+		out.Series = append(out.Series, Series{Name: se.Name, Vals: vals})
+	}
+	sort.Slice(out.Series, func(i, j int) bool { return out.Series[i].Name < out.Series[j].Name })
+	return out
+}

@@ -25,6 +25,7 @@ import (
 	"xenic/internal/metrics"
 	"xenic/internal/model"
 	"xenic/internal/sim"
+	"xenic/internal/telemetry"
 	"xenic/internal/trace"
 	"xenic/internal/txnmodel"
 	"xenic/internal/wire"
@@ -118,6 +119,10 @@ type System interface {
 	// SetHistory attaches a transaction-history recorder (nil disables
 	// recording). Call before Start. Prefer WithHistory at construction.
 	SetHistory(h *History)
+	// SetTelemetry registers time-series probes on the sampler and starts
+	// its sampling ticker (nil disables telemetry). Call before Start.
+	// Prefer WithTelemetry at construction.
+	SetTelemetry(s *Telemetry)
 	// AuditHistory cross-checks the drained system's final state against the
 	// recorded history (orphan locks, store-vs-commit versions, log
 	// consistency). Call after a successful Drain; nil without a recorder.
@@ -143,6 +148,7 @@ type options struct {
 	tracer    *Tracer
 	stats     *StatsRegistry
 	hist      *History
+	tel       *Telemetry
 	faults    *FaultPlan
 	setFaults bool
 }
@@ -161,6 +167,13 @@ func WithStats(reg *StatsRegistry) Option { return func(o *options) { o.stats = 
 // AuditHistory. Recording never perturbs the simulation: a run with a
 // recorder attached is byte-identical to one without.
 func WithHistory(h *History) Option { return func(o *options) { o.hist = h } }
+
+// WithTelemetry attaches a telemetry sampler (equivalent to calling
+// SetTelemetry immediately after construction): the system's counters are
+// sampled on the sampler's simulated-time cadence into per-node time
+// series. Sampling never perturbs the simulation — a run with telemetry
+// attached executes the same transaction schedule as one without.
+func WithTelemetry(s *Telemetry) Option { return func(o *options) { o.tel = s } }
 
 // WithFaults installs the fault-injection plan (equivalent to setting
 // Config.Faults / BaselineConfig.Faults before construction). Passing nil
@@ -187,6 +200,9 @@ func (o options) apply(s System) {
 	}
 	if o.hist != nil {
 		s.SetHistory(o.hist)
+	}
+	if o.tel != nil {
+		s.SetTelemetry(o.tel)
 	}
 }
 
@@ -293,6 +309,20 @@ type History = check.History
 
 // NewHistory returns an empty transaction-history recorder.
 func NewHistory() *History { return check.NewHistory() }
+
+// Telemetry is a simulated-time sampler collecting per-node, per-resource
+// time series (rates, windowed latency quantiles, occupancies, queue
+// depths) from a running system. Attach one with WithTelemetry, run, then
+// export with Set (see the telemetry package for CSV/JSON/HTML writers and
+// the bottleneck analyzer). A nil *Telemetry is a valid disabled sampler.
+type Telemetry = telemetry.Sampler
+
+// TelemetrySet is an exported snapshot of a sampler's series.
+type TelemetrySet = telemetry.Set
+
+// NewTelemetry returns a sampler ticking every interval of simulated time
+// (the package default, 100µs, if interval <= 0).
+func NewTelemetry(interval Time) *Telemetry { return telemetry.New(interval) }
 
 // CheckReport is the outcome of a serializability check: the dependency
 // graph summary and any witness cycles found.
