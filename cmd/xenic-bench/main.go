@@ -92,6 +92,9 @@ func main() {
 			fmt.Printf("wallbench: %-22s %8.2f ns/op  %d allocs/op  %d B/op\n",
 				e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 		}
+		fmt.Printf("wallbench: mvcc update A/B: events %+.2f%% (off %d, on %d), wall %+.1f%% (off %.2fs, on %.2fs)\n",
+			100*(res.MVCC.EventsOverhead-1), res.MVCC.OffEvents, res.MVCC.OnEvents,
+			100*(res.MVCC.Overhead-1), res.MVCC.OffSeconds, res.MVCC.OnSeconds)
 		if *baselinePath != "" {
 			if err := wallbench.Check(res, *baselinePath, *baseFrac); err != nil {
 				fmt.Fprintln(os.Stderr, err)

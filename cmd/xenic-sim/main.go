@@ -61,6 +61,9 @@ func main() {
 	telemetryOut := flag.String("telemetry", "", "sample time-resolved telemetry; write PREFIX.csv, PREFIX.json, PREFIX.html and print the bottleneck verdict")
 	telIntervalUs := flag.Int("telemetry-interval-us", 100, "telemetry sampling interval in simulated microseconds")
 	checkRun := flag.Bool("check", false, "record the transaction history and check serializability + state audits after the run")
+	mvcc := flag.Bool("mvcc", false, "enable MVCC snapshot reads: read-only transactions run lock- and validation-free at a consistent timestamp (xenic only)")
+	mvccKeep := flag.Int("mvcc-keep", 0, "retained versions per key chain (0 = default 8; with -mvcc)")
+	roFrac := flag.Float64("ro-frac", 0, "override the read-only transaction fraction (retwis and smallbank; 0 = the paper's mix)")
 	flag.Parse()
 
 	var plan *xenic.FaultPlan
@@ -83,10 +86,12 @@ func main() {
 	case "retwis":
 		g := xenic.Retwis()
 		g.KeysPerServer = scaleInt(1_000_000, *scale, 1000)
+		g.ReadOnlyFrac = *roFrac
 		gen = g
 	case "smallbank":
 		g := xenic.Smallbank()
 		g.AccountsPerServer = scaleInt(2_400_000, *scale, 1000)
+		g.ReadOnlyFrac = *roFrac
 		gen = g
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
@@ -112,6 +117,8 @@ func main() {
 		cfg.Outstanding = max(1, *window / *app)
 		cfg.Seed = *seed
 		cfg.Faults = plan
+		cfg.MVCC = *mvcc
+		cfg.MVCCKeep = *mvccKeep
 		if *oneLink {
 			cfg.Params = cfg.Params.OneLink()
 		}
@@ -172,6 +179,9 @@ func main() {
 	must(err)
 	if *traceOut != "" {
 		fmt.Fprintln(os.Stderr, "xenic-sim: -trace is only supported for -system xenic; ignoring")
+	}
+	if *mvcc {
+		fmt.Fprintln(os.Stderr, "xenic-sim: -mvcc is only supported for -system xenic; ignoring")
 	}
 	var reg *xenic.StatsRegistry
 	if *statsOut != "" {

@@ -52,6 +52,17 @@ type TxnRecord struct {
 	// Shipped marks a multi-hop transaction executed at node ShipTo.
 	Shipped bool
 	ShipTo  int
+	// Snapshot marks a read-only transaction served by the MVCC snapshot
+	// path (DESIGN.md §12): it read at SnapshotTS with no locks or
+	// validation. The checker keeps it in the serialization graph and
+	// additionally verifies snapshot-isolation visibility for it.
+	Snapshot bool
+	// SnapshotTS is the timestamp a Snapshot transaction read at.
+	SnapshotTS uint64
+	// CommitTS is the MVCC commit timestamp an update transaction's writes
+	// installed at (0 when MVCC is off; such transactions are exempt from
+	// the snapshot visibility pass).
+	CommitTS uint64
 }
 
 // ShipRecord is the ship target's shadow of a shipped execution: the write
@@ -176,6 +187,9 @@ type committedTxn struct {
 	writes        map[uint64]uint64 // key -> installed version
 	recoveredOnly bool              // committed only via recovery records
 	shipped       bool
+	snapshot      bool   // served by the MVCC snapshot read path
+	snapTS        uint64 // snapshot timestamp it read at
+	cts           uint64 // MVCC commit timestamp (0 when MVCC off)
 }
 
 // mergeCommitted folds the raw records into per-id committed transactions,
@@ -201,6 +215,19 @@ func (h *History) mergeCommitted() (map[uint64]*committedTxn, []string) {
 		}
 		if r.Shipped {
 			t.shipped = true
+		}
+		if r.Snapshot {
+			t.snapshot = true
+			t.snapTS = r.SnapshotTS
+		}
+		if r.CommitTS != 0 {
+			if t.cts != 0 && t.cts != r.CommitTS {
+				anomalies = append(anomalies, fmt.Sprintf(
+					"txn %#x: conflicting commit timestamps (%d vs %d)",
+					r.ID, t.cts, r.CommitTS))
+			} else {
+				t.cts = r.CommitTS
+			}
 		}
 		for _, kv := range r.Reads {
 			if prev, ok := t.reads[kv.Key]; ok && prev != kv.Version {

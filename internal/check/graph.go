@@ -124,6 +124,7 @@ func (h *History) Check() *Report {
 	}
 	sort.Slice(txns, func(i, j int) bool { return txns[i].id < txns[j].id })
 	rep.Txns = len(txns)
+	rep.Anomalies = append(rep.Anomalies, siViolations(txns)...)
 	index := make(map[uint64]int, len(txns))
 	for i, t := range txns {
 		index[t.id] = i

@@ -1,0 +1,114 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot-isolation visibility checking (DESIGN.md §12). A transaction
+// served by the MVCC snapshot path claims to have read every key at one
+// snapshot timestamp S. The serialization graph alone cannot always witness
+// a fractured snapshot (a read-only transaction observing txn A but missing
+// an earlier, independent txn B is anomalous without being a cycle), so
+// this pass checks visibility directly: for every key a snapshot
+// transaction read, the observed version must be exactly the one installed
+// by the committed update with the greatest commit timestamp <= S — or the
+// populate state when no committed update at or below S touched the key.
+//
+// It also cross-checks the two orders the checker relies on: per-key
+// install-version order must agree with commit-timestamp order, since the
+// snapshot path serves by timestamp while OCC validation serves by version.
+
+// keyInstall is one committed, timestamped install of a key.
+type keyInstall struct {
+	cts uint64
+	ver uint64
+	id  uint64 // installing transaction
+}
+
+// siViolations returns anomaly strings for every snapshot-visibility or
+// timestamp-order violation in the merged committed transactions. Update
+// transactions without a commit timestamp (MVCC off, or paths that never
+// assign one) are exempt; snapshot transactions can only exist when MVCC is
+// on, where every committed update carries its timestamp.
+func siViolations(txns []*committedTxn) []string {
+	hasSnap := false
+	for _, t := range txns {
+		if t.snapshot {
+			hasSnap = true
+			break
+		}
+	}
+	if !hasSnap {
+		return nil
+	}
+
+	installs := map[uint64][]keyInstall{}
+	for _, t := range txns {
+		if t.cts == 0 {
+			continue
+		}
+		for k, v := range t.writes {
+			installs[k] = append(installs[k], keyInstall{cts: t.cts, ver: v, id: t.id})
+		}
+	}
+	keys := make([]uint64, 0, len(installs))
+	for k := range installs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var out []string
+	for _, k := range keys {
+		ins := installs[k]
+		sort.Slice(ins, func(i, j int) bool {
+			if ins[i].cts != ins[j].cts {
+				return ins[i].cts < ins[j].cts
+			}
+			return ins[i].id < ins[j].id
+		})
+		for i := 1; i < len(ins); i++ {
+			if ins[i].ver <= ins[i-1].ver {
+				out = append(out, fmt.Sprintf(
+					"key %d: install-version order disagrees with commit-timestamp order (T%#x cts=%d v%d, then T%#x cts=%d v%d)",
+					k, ins[i-1].id, ins[i-1].cts, ins[i-1].ver,
+					ins[i].id, ins[i].cts, ins[i].ver))
+			}
+		}
+	}
+
+	for _, t := range txns {
+		if !t.snapshot {
+			continue
+		}
+		rks := make([]uint64, 0, len(t.reads))
+		for k := range t.reads {
+			rks = append(rks, k)
+		}
+		sort.Slice(rks, func(i, j int) bool { return rks[i] < rks[j] })
+		for _, k := range rks {
+			got := t.reads[k]
+			ins := installs[k]
+			// Latest committed install at or below the snapshot timestamp.
+			i := sort.Search(len(ins), func(i int) bool { return ins[i].cts > t.snapTS })
+			if i == 0 {
+				// Nothing committed at or below S: the populate state (version
+				// <= 1) is the only legal observation.
+				if got > 1 {
+					out = append(out, fmt.Sprintf(
+						"SI violation: T%#x snapshot at ts=%d observed key %d at v%d, but no committed update has cts <= %d",
+						t.id, t.snapTS, k, got, t.snapTS))
+				}
+				continue
+			}
+			want := ins[i-1]
+			if got != want.ver {
+				out = append(out, fmt.Sprintf(
+					"SI violation: T%#x snapshot at ts=%d observed key %d at v%d, visible install is v%d (T%#x, cts=%d)",
+					t.id, t.snapTS, k, got, want.ver, want.id, want.cts))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -3,9 +3,11 @@ package core
 import (
 	"encoding/binary"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"xenic/internal/check"
+	"xenic/internal/fault"
 	"xenic/internal/sim"
 	"xenic/internal/txnmodel"
 )
@@ -124,4 +126,121 @@ func TestCheckerCatchesStaleIndexRead(t *testing.T) {
 	mutStaleIndexRead = true
 	defer func() { mutStaleIndexRead = false }()
 	requireWitnessCycle(t, mutantRun(t, mutantSeed))
+}
+
+// snapGen drives the SI-mutant scenario: single-key update transactions (so
+// a stalled commit gridlocks only its own key while every other chain keeps
+// advancing) mixed with multi-key read-only snapshot transactions.
+type snapGen struct{ kvGen }
+
+func (g *snapGen) Next(node, thread int, rng *rand.Rand) *txnmodel.TxnDesc {
+	d := &txnmodel.TxnDesc{NICExec: true}
+	if rng.Float64() < g.readFrac {
+		seen := map[uint64]bool{}
+		for len(d.ReadKeys) < 3 {
+			k := uint64(rng.Intn(g.keys))
+			if !seen[k] {
+				seen[k] = true
+				d.ReadKeys = append(d.ReadKeys, k)
+			}
+		}
+		return d
+	}
+	d.UpdateKeys = []uint64{uint64(rng.Intn(g.keys))}
+	d.FnID = fnIncr
+	st := make([]byte, 2)
+	binary.LittleEndian.PutUint16(st, 1)
+	d.State = st
+	return d
+}
+
+// snapMutantRun drives a hot-key single-key-update firehose mixed with
+// multi-key read-only transactions over the MVCC snapshot path, with the
+// shortest chain depth (so two installs suffice to GC a chain past an open
+// snapshot) and staggered NIC core stalls. A stall delays the snapshot reads
+// queued at that core while commits flowing through the node's other cores
+// keep installing versions ahead of the reads' timestamps: exactly the
+// chain-GC race the SI mutants corrupt. The intact protocol aborts such
+// reads (StatusAbortSnapshot) and retries them at a fresher timestamp, so
+// the control run stays clean.
+func snapMutantRun(t *testing.T, seed int64) *check.Report {
+	t.Helper()
+	g := &snapGen{kvGen{keys: 8, readFrac: 0.25}}
+	cfg := testConfig(4, AllFeatures())
+	cfg.Seed = seed
+	cfg.MVCC = true
+	cfg.MVCCKeep = 1
+	cfg.Outstanding = 8
+	var stalls []fault.CoreStall
+	for i := 0; i < 12; i++ {
+		stalls = append(stalls, fault.CoreStall{
+			Node: i % 4, Core: (i / 4) % 4,
+			At:  sim.Time(i+1) * 700 * sim.Microsecond,
+			Dur: 200 * sim.Microsecond,
+		})
+	}
+	cfg.Faults = &fault.Plan{CoreStalls: stalls}
+	cl, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := check.NewHistory()
+	cl.SetHistory(h)
+	cl.Start()
+	cl.Run(10 * sim.Millisecond)
+	if !cl.Drain(500 * sim.Millisecond) {
+		t.Fatal("snapshot mutant cluster did not drain")
+	}
+	return h.Check()
+}
+
+// requireSIViolation asserts the checker flagged at least one concrete
+// snapshot-visibility violation (naming a transaction, key, and the
+// version it should have seen) — the witness the SI pass owes us.
+func requireSIViolation(t *testing.T, rep *check.Report) {
+	t.Helper()
+	if rep.Ok() {
+		t.Fatalf("mutant produced a clean report: %s", rep.String())
+	}
+	for _, a := range rep.Anomalies {
+		if strings.HasPrefix(a, "SI violation:") {
+			t.Logf("witness: %s", a)
+			return
+		}
+	}
+	t.Fatalf("mutant flagged no SI violation:\n%s", rep.String())
+}
+
+// TestSnapshotCheckerCleanWithoutMutation is the control: the exact
+// workload and seed the SI mutants run is clean when the snapshot protocol
+// is intact, and actually exercised the snapshot path (non-vacuous).
+func TestSnapshotCheckerCleanWithoutMutation(t *testing.T) {
+	rep := snapMutantRun(t, mutantSeed)
+	if !rep.Ok() {
+		t.Fatalf("unmutated snapshot run not clean:\n%s", rep.String())
+	}
+	if rep.Txns == 0 || rep.Edges == 0 {
+		t.Fatalf("control run vacuous: %s", rep.String())
+	}
+}
+
+// TestCheckerCatchesSnapshotTSAfterRead mutates the snapshot servers to
+// re-pick the timestamp as the fan-out proceeds instead of honoring the
+// coordinator's choice: commits landing between two shards' reads fracture
+// the snapshot, and the SI visibility pass must name the torn read.
+func TestCheckerCatchesSnapshotTSAfterRead(t *testing.T) {
+	mutSnapshotTSAfterRead = true
+	defer func() { mutSnapshotTSAfterRead = false }()
+	requireSIViolation(t, snapMutantRun(t, mutantSeed))
+}
+
+// TestCheckerCatchesGCIgnoringSnapshots mutates chain GC to ignore open
+// snapshots when computing the low-water mark (and chain-miss reads to
+// serve the oldest retained version instead of aborting): a long snapshot
+// read racing committing updaters observes a version newer than its
+// timestamp.
+func TestCheckerCatchesGCIgnoringSnapshots(t *testing.T) {
+	mutGCIgnoreSnapshots = true
+	defer func() { mutGCIgnoreSnapshots = false }()
+	requireSIViolation(t, snapMutantRun(t, mutantSeed))
 }

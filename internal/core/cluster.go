@@ -43,6 +43,7 @@ type Cluster struct {
 	inj    *fault.Injector // nil unless Config.Faults is set
 	tracer *trace.Tracer   // nil unless SetTracer attached one
 	hist   *check.History  // nil unless SetHistory attached one
+	mv     *mvState        // MVCC timestamp machinery (disabled unless Config.MVCC)
 }
 
 // primaryNode is the node currently serving shard s.
@@ -74,6 +75,7 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 	}
 	cl.nw = simnet.New(cl.eng, cfg.Params, cfg.Nodes)
 	cl.fwdInFlight = make([]int64, cfg.Nodes)
+	cl.mv = newMVState(cfg.MVCC, cfg.MVCCKeep)
 	if cfg.Faults != nil {
 		// The injector decides every frame's fate; the liveness oracle lets
 		// the reliable transport abandon frames to or from dead nodes.
@@ -102,6 +104,7 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 			alive:         true,
 		}
 		n.stats.Latency = metrics.NewHistogram()
+		n.stats.ROLatency = metrics.NewHistogram()
 		for i := range n.stats.PhaseLat {
 			n.stats.PhaseLat[i] = metrics.NewHistogram()
 		}
@@ -116,6 +119,13 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 			data:  own,
 			index: nicindex.New(own.Hash, cl.cacheCap(), 1),
 			ready: true,
+		}
+		if cl.mv.enabled {
+			// The NIC index mirrors the host chain head timestamps (modeled
+			// as extra row-header metadata carried by the existing DMA fills)
+			// and caches a bounded version history per entry.
+			n.prims[id].index.SetTSFunc(own.HeadTS)
+			n.prims[id].index.SetChainDepth(cl.mv.keep)
 		}
 
 		n.host = hostrt.New(cl.eng, cfg.Params, id, cfg.AppThreads+cfg.WorkerThreads, cfg.Seed)
@@ -315,13 +325,16 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 	cl.Run(warmup)
 	type snap struct {
 		committed, measured, aborts, failed int64
+		roCommitted, roAborts, snapDone     int64
 		reasons                             [wire.NumStatuses]int64
 	}
 	snaps := make([]snap, len(cl.nodes))
 	for i, n := range cl.nodes {
 		snaps[i] = snap{n.stats.Committed, n.stats.Measured, n.stats.Aborts,
-			n.stats.Failed, n.stats.AbortReasons}
+			n.stats.Failed, n.stats.ROCommitted, n.stats.ROAborts,
+			n.stats.SnapCommitted, n.stats.AbortReasons}
 		n.stats.Latency.Reset()
+		n.stats.ROLatency.Reset()
 		for _, h := range n.stats.PhaseLat {
 			h.Reset()
 		}
@@ -329,6 +342,7 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 	cl.Run(window)
 	res := Result{Duration: window}
 	lat := metrics.NewHistogram()
+	roLat := metrics.NewHistogram()
 	for i, n := range cl.nodes {
 		res.Committed += n.stats.Committed - snaps[i].committed
 		res.Measured += n.stats.Measured - snaps[i].measured
@@ -339,11 +353,22 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		res.AbortMissing += n.stats.AbortReasons[wire.StatusAbortMissing] - snaps[i].reasons[wire.StatusAbortMissing]
 		res.AbortView += n.stats.AbortReasons[wire.StatusAbortView] - snaps[i].reasons[wire.StatusAbortView]
 		lat.Merge(n.stats.Latency)
+		if cl.mv.enabled {
+			res.ROCommitted += n.stats.ROCommitted - snaps[i].roCommitted
+			res.ROAborts += n.stats.ROAborts - snaps[i].roAborts
+			res.SnapCommitted += n.stats.SnapCommitted - snaps[i].snapDone
+			res.AbortSnapshot += n.stats.AbortReasons[wire.StatusAbortSnapshot] - snaps[i].reasons[wire.StatusAbortSnapshot]
+			roLat.Merge(n.stats.ROLatency)
+		}
 	}
 	res.PerServerTput = float64(res.Measured) / window.Seconds() / float64(len(cl.nodes))
 	res.Median = lat.Median()
 	res.P99 = lat.Quantile(0.99)
 	res.Mean = lat.Mean()
+	if cl.mv.enabled {
+		res.ROMedian = roLat.Median()
+		res.ROP99 = roLat.Quantile(0.99)
+	}
 	return res
 }
 

@@ -77,6 +77,14 @@ type Config struct {
 	// suppression, dead-peer gating). nil runs are byte-identical to builds
 	// without the fault subsystem.
 	Faults *fault.Plan
+	// MVCC enables bounded per-key version chains and the lock-free,
+	// validation-free snapshot path for read-only transactions (DESIGN.md
+	// §12). Off (the default), runs are byte-identical to builds without
+	// the MVCC subsystem.
+	MVCC bool
+	// MVCCKeep is the bounded chain depth K (old versions retained per
+	// key); 0 means the default of 8.
+	MVCCKeep int
 }
 
 // DefaultConfig mirrors the paper's testbed: 6 servers, 3-way replication.
@@ -108,6 +116,11 @@ func (c Config) validate() error {
 	}
 	if c.Outstanding < 1 {
 		return fmt.Errorf("core: outstanding window must be positive")
+	}
+	if c.MVCC && c.Nodes > 64 {
+		// The commit-timestamp oracle tracks each commit's pending write
+		// shards as a 64-bit set (one shard per node).
+		return fmt.Errorf("core: MVCC supports at most 64 nodes, have %d", c.Nodes)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(c.Nodes); err != nil {

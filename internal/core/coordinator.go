@@ -50,6 +50,14 @@ type ctxn struct {
 	pending   int
 	rounds    int
 	nicExec   bool
+	// cts is the MVCC commit timestamp assigned at the commit point
+	// (0 = MVCC off or not yet committed).
+	cts uint64
+	// snapTS marks a read-only transaction on the lock-free snapshot path
+	// (MVCC): every read resolves at this timestamp, no locks or validation.
+	snapTS     uint64
+	snapshot   bool
+	snapClosed bool // GC-protection refcount released
 	// relockStash holds execution output while an extra EXECUTE round
 	// locks write keys the execution introduced.
 	relockStash []wire.KV
@@ -99,6 +107,16 @@ func (n *Node) coordStart(c *nicrt.Core, m *wire.TxnRequest) {
 		return
 	}
 	t := n.newCtxn(m)
+	if t.desc.FnID == 0 && t.desc.ReadOnly() && n.cl.snapReady() {
+		// MVCC read-only fast path: resolve every key at one snapshot
+		// timestamp, lock-free and validation-free (DESIGN.md §12). During
+		// fence episodes (recovery, promotion, rejoin) snapReady is false
+		// and read-only transactions fall through to the OCC path.
+		n.ctxns[t.id] = t
+		n.openTxn(t)
+		n.snapStart(c, t)
+		return
+	}
 	t.nicExec = t.desc.NICExec && n.cl.cfg.Features.NICExecution && t.desc.FnID != 0
 	n.ctxns[t.id] = t
 	n.openTxn(t)
@@ -325,6 +343,18 @@ func (n *Node) coordExecPart(c *nicrt.Core, t *ctxn, shard int, locks []uint64,
 	st wire.Status, items []wire.KV) {
 
 	if t.dead {
+		// A view-change abort swept t.locked while this local EXECUTE unit
+		// was still in flight, so the locks it just acquired have no owner
+		// left to release them. Unlock here — the local analogue of the
+		// straggler Abort coordExecuteResp sends for remote responses.
+		if st == wire.StatusOK && len(locks) > 0 {
+			n.chargeIndexOps(c, len(locks))
+			for _, k := range locks {
+				if p := n.prim(n.place().ShardOf(k)); p != nil {
+					p.index.UnlockIf(k, t.id)
+				}
+			}
+		}
 		return
 	}
 	if st == wire.StatusOK {
@@ -653,28 +683,44 @@ func (n *Node) coordLogPart(c *nicrt.Core, t *ctxn) {
 // notifyLogCommits tells every backup that logged this transaction's
 // records that the commit point was reached, so they apply the records
 // (and recovery can tell decided records from undecided ones).
-func (n *Node) notifyLogCommits(c *nicrt.Core, txn uint64, writes []wire.KV) {
+func (n *Node) notifyLogCommits(c *nicrt.Core, txn uint64, writes []wire.KV, cts uint64) {
 	for _, sw := range groupByShard(n.place(), writes) {
 		for _, b := range n.cl.viewBackups(sw.shard) {
 			if b == n.id {
-				n.log.markCommitted(txn, sw.shard)
+				n.log.markCommitted(txn, sw.shard, cts)
 				n.wakeWorkers()
 				continue
 			}
 			c.Send(b, &wire.LogCommit{
 				Header: wire.Header{TxnID: txn, Src: uint8(n.id)},
-				Shard:  uint8(sw.shard),
+				Shard:  uint8(sw.shard), CTS: cts,
 			})
 		}
 	}
 }
 
+// assignCTS allocates the transaction's MVCC commit timestamp at its commit
+// point (0 under MVCC-off), charging one pending host-apply per write shard
+// toward the snapshot watermark.
+func (n *Node) assignCTS(txn uint64, writes []wire.KV) uint64 {
+	if !n.cl.mv.enabled || len(writes) == 0 {
+		return 0
+	}
+	var mask uint64
+	place := n.place()
+	for _, kv := range writes {
+		mask |= 1 << uint(place.ShardOf(kv.Key))
+	}
+	return n.cl.mv.assign(txn, mask)
+}
+
 // committed reports the outcome to the host, then applies the write set at
 // each primary (§4.2 step 6). The commit phase is off the latency path.
 func (n *Node) committed(c *nicrt.Core, t *ctxn) {
+	t.cts = n.assignCTS(t.id, t.writes)
 	n.recordCommit(t, t.writes)
 	n.finishTxn(c, t, wire.StatusOK)
-	n.notifyLogCommits(c, t.id, t.writes)
+	n.notifyLogCommits(c, t.id, t.writes, t.cts)
 	n.setPhase(t, phCommit)
 	byShard := groupByShard(n.place(), t.writes)
 	t.pending = len(byShard)
@@ -682,14 +728,14 @@ func (n *Node) committed(c *nicrt.Core, t *ctxn) {
 		dst := n.primaryNode(sw.shard)
 		if dst == n.id {
 			unlock := t.locked[sw.shard]
-			n.commitShard(c, sw.shard, t.id, sw.writes, unlock, func() {
+			n.commitShard(c, sw.shard, t.id, sw.writes, unlock, t.cts, func() {
 				n.coordCommitPart(c, t)
 			})
 			continue
 		}
 		c.Send(dst, &wire.Commit{
 			Header: wire.Header{TxnID: t.id, Src: uint8(n.id)},
-			Writes: sw.writes,
+			Writes: sw.writes, CTS: t.cts,
 		})
 	}
 }
@@ -716,6 +762,7 @@ func (n *Node) coordCommitPart(c *nicrt.Core, t *ctxn) {
 
 // abortTxn releases all locks and reports the abort to the host.
 func (n *Node) abortTxn(c *nicrt.Core, t *ctxn) {
+	n.snapClose(t) // snapshot reads hold no locks, only the GC refcount
 	var shards []int
 	for s := range t.locked {
 		shards = append(shards, s)
@@ -956,7 +1003,7 @@ func (n *Node) coordShipResult(c *nicrt.Core, m *wire.ShipResult) {
 		return
 	}
 	if m.Status != wire.StatusOK {
-		n.unlockLocalSet(c, t)
+		n.unlockLocalSet(c, t, nil)
 		t.failed = m.Status
 		n.recordAbort(t, m.Status)
 		n.traceAbort(t)
@@ -971,15 +1018,16 @@ func (n *Node) coordShipResult(c *nicrt.Core, m *wire.ShipResult) {
 	n.maybeFinishShipped(c, t)
 }
 
-// unlockLocalSet releases every locally-held lock of t.
-func (n *Node) unlockLocalSet(c *nicrt.Core, t *ctxn) {
+// unlockLocalSet releases every locally-held lock of t, except on shards in
+// skip (whose locks a pending commitShard releases after durability).
+func (n *Node) unlockLocalSet(c *nicrt.Core, t *ctxn, skip map[int]bool) {
 	var shards []int
 	for s := range t.locked {
 		shards = append(shards, s)
 	}
 	sortInts(shards)
 	for _, s := range shards {
-		if n.primaryNode(s) != n.id {
+		if skip[s] || n.primaryNode(s) != n.id {
 			continue
 		}
 		idx := n.prim(s).index
@@ -1001,21 +1049,22 @@ func (n *Node) maybeFinishShipped(c *nicrt.Core, t *ctxn) {
 		t.reads[kv.Key] = kv
 	}
 	t.nicExec = true // results return with TxnDone
+	t.cts = n.assignCTS(t.id, t.shipped.Writes)
 	n.recordCommit(t, t.shipped.Writes)
 	n.finishTxn(c, t, wire.StatusOK)
-	n.notifyLogCommits(c, t.id, t.shipped.Writes)
+	n.notifyLogCommits(c, t.id, t.shipped.Writes, t.cts)
 
 	byShard := groupByShard(n.place(), t.shipped.Writes)
 	n.setPhase(t, phCommit)
 	t.pending = 0
-	localUnlocked := false
+	localWriteShards := map[int]bool{}
 	remoteCovered := false
 	for _, sw := range byShard {
 		dst := n.primaryNode(sw.shard)
 		t.pending++
 		if dst == n.id {
-			localUnlocked = true
-			n.commitShard(c, sw.shard, t.id, sw.writes, t.locked[sw.shard], func() {
+			localWriteShards[sw.shard] = true
+			n.commitShard(c, sw.shard, t.id, sw.writes, t.locked[sw.shard], t.cts, func() {
 				n.coordCommitPart(c, t)
 			})
 			continue
@@ -1025,12 +1074,17 @@ func (n *Node) maybeFinishShipped(c *nicrt.Core, t *ctxn) {
 		}
 		c.Send(dst, &wire.Commit{
 			Header: wire.Header{TxnID: t.id, Src: uint8(n.id)},
-			Writes: sw.writes,
+			Writes: sw.writes, CTS: t.cts,
 		})
 	}
-	if !localUnlocked && len(t.localLocks) > 0 {
-		// No local writes: release the local read locks now.
-		n.unlockLocalSet(c, t)
+	// Release local read locks on shards with no local writes. The shipped
+	// path locks read keys too, and after a promotion this coordinator may
+	// serve several shards: writes can land on one local shard while another
+	// holds only read locks, so a single "did any local commit run" bit
+	// would leak the latter. Shards in localWriteShards release inside
+	// commitShard once their record is durable.
+	if len(t.localLocks) > 0 {
+		n.unlockLocalSet(c, t, localWriteShards)
 	}
 	if !remoteCovered {
 		// The remote primary holds read locks but has no writes to commit:

@@ -36,15 +36,41 @@ func (n *Node) recordCommit(t *ctxn, writes []wire.KV) {
 		return
 	}
 	h.Add(check.TxnRecord{
-		ID:      t.id,
-		Node:    n.id,
-		Status:  wire.StatusOK,
-		Start:   t.openedAt,
-		End:     n.cl.eng.Now(),
-		Reads:   check.Reads(t.reads),
-		Writes:  check.Writes(writes),
-		Shipped: t.phase == phShipped,
-		ShipTo:  t.shipTo,
+		ID:         t.id,
+		Node:       n.id,
+		Status:     wire.StatusOK,
+		Start:      t.openedAt,
+		End:        n.cl.eng.Now(),
+		Reads:      check.Reads(t.reads),
+		Writes:     check.Writes(writes),
+		Shipped:    t.phase == phShipped,
+		ShipTo:     t.shipTo,
+		Snapshot:   t.snapshot,
+		SnapshotTS: t.snapTS,
+		CommitTS:   t.cts,
+	})
+}
+
+// recordSnapLocal appends a snapshot read-only transaction decided entirely
+// at the host (snapLocal). Absent-at-S keys record version 0.
+func (n *Node) recordSnapLocal(tx *appTxn, S uint64, reads []wire.KV, now sim.Time) {
+	h := n.cl.hist
+	if h == nil {
+		return
+	}
+	kvs := make([]wire.KeyVer, 0, len(reads))
+	for _, kv := range reads {
+		kvs = append(kvs, wire.KeyVer{Key: kv.Key, Version: kv.Version})
+	}
+	h.Add(check.TxnRecord{
+		ID:         tx.id,
+		Node:       n.id,
+		Status:     wire.StatusOK,
+		Start:      tx.start,
+		End:        now,
+		Reads:      check.KeyVers(kvs),
+		Snapshot:   true,
+		SnapshotTS: S,
 	})
 }
 
@@ -84,7 +110,7 @@ func (n *Node) recordHostLocal(tx *appTxn, st wire.Status, reads []wire.KeyVer, 
 // recordRecovered appends the synthetic record emitted when recovery commits
 // a dead coordinator's transaction from its replicated log records; the
 // checker merges it with any other record of the same id.
-func (n *Node) recordRecovered(txn uint64, writes []wire.KV) {
+func (n *Node) recordRecovered(txn uint64, writes []wire.KV, cts uint64) {
 	h := n.cl.hist
 	if h == nil {
 		return
@@ -96,6 +122,7 @@ func (n *Node) recordRecovered(txn uint64, writes []wire.KV) {
 		End:       n.cl.eng.Now(),
 		Recovered: true,
 		Writes:    check.Writes(writes),
+		CommitTS:  cts,
 	})
 }
 

@@ -224,6 +224,12 @@ func (n *Node) observeBlind(t *hostrt.Thread, d *txnmodel.TxnDesc) []wire.KV {
 // state to the NIC for replication.
 func (n *Node) submitLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
 	d := tx.desc
+	if d.FnID == 0 && d.ReadOnly() && n.cl.snapReady() {
+		// MVCC read-only fast path (DESIGN.md §12): read the host version
+		// chains at one snapshot timestamp, no validation.
+		n.snapLocal(t, at, tx)
+		return
+	}
 	reads := make([]wire.KV, 0, len(d.ReadKeys)+len(d.UpdateKeys)+len(d.BlindWrites))
 	readVers := make([]wire.KeyVer, 0, len(d.ReadKeys))
 	for _, k := range d.ReadKeys {
@@ -314,6 +320,46 @@ func (n *Node) submitLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
 	})
 }
 
+// snapLocal runs a read-only transaction on the MVCC snapshot path without
+// leaving the host (the §4.2.4 local fast path crossed with DESIGN.md §12):
+// every key resolves from the host version chains at one snapshot
+// timestamp, with no validation pass. Host callbacks run atomically at one
+// simulated instant, so no commit can interleave — the reads are still
+// served at S rather than "latest" to keep the recorded history uniform
+// with the distributed snapshot path.
+func (n *Node) snapLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
+	S := n.cl.snapTS()
+	d := tx.desc
+	reads := make([]wire.KV, 0, len(d.ReadKeys))
+	for _, k := range d.ReadKeys {
+		p := n.prim(n.place().ShardOf(k))
+		if n.place().IsBTree(k) {
+			t.Charge(n.cl.cfg.Params.HostBTreeOp)
+		} else {
+			t.Charge(n.cl.cfg.Params.HostStoreOp)
+		}
+		if p.mvFloor > S {
+			// Shard promoted after S was picked; retry at a fresher S.
+			n.retryTxn(t, at, tx, wire.StatusAbortSnapshot)
+			return
+		}
+		v, ver, exists, ok := p.data.ReadAt(k, S)
+		if !ok {
+			// Chain GC'd past S (long-lagging watermark); never contention.
+			n.retryTxn(t, at, tx, wire.StatusAbortSnapshot)
+			return
+		}
+		kv := wire.KV{Key: k}
+		if exists {
+			kv.Version, kv.Value = ver, v
+		}
+		reads = append(reads, kv)
+	}
+	n.stats.SnapCommitted++
+	n.recordSnapLocal(tx, S, reads, t.Now())
+	n.completeTxn(t, at, tx, wire.StatusOK, reads)
+}
+
 // readLocal reads a key from one of this node's primary replicas, charging
 // the appropriate host cost.
 func (n *Node) readLocal(t *hostrt.Thread, key uint64) ([]byte, uint64, bool) {
@@ -377,9 +423,15 @@ func (n *Node) completeTxn(t *hostrt.Thread, at *appThread, tx *appTxn,
 	if st == wire.StatusOK {
 		n.stats.Committed++
 		n.stats.UpdateKeysCommitted += int64(len(tx.desc.UpdateKeys))
+		if tx.desc.ReadOnly() {
+			n.stats.ROCommitted++
+		}
 		if n.cl.gen.Measure(tx.desc) {
 			n.stats.Measured++
 			n.stats.Latency.Record(t.Now() - tx.start)
+			if tx.desc.ReadOnly() {
+				n.stats.ROLatency.Record(t.Now() - tx.start)
+			}
 		}
 	} else {
 		n.stats.Failed++
@@ -399,6 +451,9 @@ const (
 // randomized backoff, up to the retry cap.
 func (n *Node) retryTxn(t *hostrt.Thread, at *appThread, tx *appTxn, st wire.Status) {
 	n.stats.Aborts++
+	if tx.desc.ReadOnly() {
+		n.stats.ROAborts++
+	}
 	if int(st) < len(n.stats.AbortReasons) {
 		n.stats.AbortReasons[st]++
 	}
@@ -419,6 +474,9 @@ func (n *Node) retryTxn(t *hostrt.Thread, at *appThread, tx *appTxn, st wire.Sta
 
 // workerIdle applies visible log records: backup records to backup
 // replicas, commit records to the primary (acking so the NIC can unpin).
+// Under MVCC, applies maintain version chains, and a commit record applied
+// at the shard's current primary discharges its pending entry so the
+// snapshot watermark can advance.
 func (n *Node) workerIdle(t *hostrt.Thread) bool {
 	did := false
 	for i := 0; i < workerBatch; i++ {
@@ -427,28 +485,33 @@ func (n *Node) workerIdle(t *hostrt.Thread) bool {
 			break
 		}
 		did = true
-		for _, kv := range r.writes {
+		for ki, kv := range r.writes {
 			if n.place().IsBTree(kv.Key) {
 				t.Charge(n.cl.cfg.Params.HostBTreeOp)
 			} else {
 				t.Charge(n.cl.cfg.Params.HostStoreOp)
 			}
+			var store *ShardData
 			switch r.kind {
 			case recBackup:
 				b, ok := n.backups[r.shard]
 				if !ok {
 					panic(fmt.Sprintf("core: node %d applying backup record for shard %d", n.id, r.shard))
 				}
-				b.Apply(kv)
+				store = b
 			case recCommit:
 				p := n.prim(r.shard)
 				if p == nil {
 					panic(fmt.Sprintf("core: node %d applying commit record for shard %d", n.id, r.shard))
 				}
-				p.data.Apply(kv)
+				store = p.data
 			}
+			n.applyKV(store, r, ki, kv)
 		}
 		if r.kind == recCommit {
+			if r.cts != 0 {
+				n.cl.mv.applied(r.cts, r.shard)
+			}
 			t.Send(&wire.LogApplyAck{
 				Header: wire.Header{TxnID: r.txn, Src: uint8(n.id)},
 				Seq:    r.seq,
@@ -456,6 +519,35 @@ func (n *Node) workerIdle(t *hostrt.Thread) bool {
 		}
 	}
 	return did
+}
+
+// applyKV installs one write of a log record, maintaining version chains
+// when the record carries MVCC timestamps. State-transfer chunk records
+// (per-KV kvTS) install as snapshot bases without history.
+//
+// Only commit records — primary applies — maintain chains. Backup replicas
+// never serve snapshot reads, and a backup promoted to primary is safe with
+// missing or understated chain head timestamps: the promotion fence parks
+// the snapshot path until stable passes every timestamp assigned before the
+// episode, so every post-resume snapshot reads at an S at or above the cts
+// of any row the backup applied chain-less. An understated headTS can then
+// only re-serve exactly the row such a snapshot would see anyway. Skipping
+// backup chains removes two thirds of the MVCC bookkeeping on the update
+// hot path at Replication=3.
+func (n *Node) applyKV(store *ShardData, r *logRecord, ki int, kv wire.KV) {
+	if len(r.kvTS) > 0 {
+		var ts uint64
+		if ki < len(r.kvTS) {
+			ts = r.kvTS[ki]
+		}
+		store.ApplyBase(kv, ts)
+		return
+	}
+	if r.cts != 0 && r.kind == recCommit {
+		store.ApplyTS(kv, r.cts, n.cl.mv.keep, n.cl.mv.lwm())
+		return
+	}
+	store.Apply(kv)
 }
 
 // wakeWorkers nudges the worker threads when the NIC appends log records.

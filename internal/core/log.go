@@ -26,8 +26,16 @@ type logRecord struct {
 	// Log frame's epoch, or the node's own at append time). The promotion
 	// fence drops only records from epochs older than its own: a record a
 	// new-view coordinator logs can race the fence frame and must survive it.
-	epoch     int
-	writes    []wire.KV
+	epoch  int
+	writes []wire.KV
+	// cts is the MVCC commit timestamp the record's writes install at
+	// (0 = MVCC off or pre-MVCC record). Stamped at append for commit
+	// records; for backup records, stamped by the LogCommit / recovery
+	// decision that decides them.
+	cts uint64
+	// kvTS carries per-KV snapshot-base timestamps for state-transfer chunk
+	// records (rejoin re-replication); empty for ordinary records.
+	kvTS      []uint64
 	committed bool
 	dropped   bool
 	applied   bool
@@ -68,9 +76,9 @@ func newHostLog() *hostLog {
 // append makes a completed record visible and returns its sequence number.
 // Commit records are decided by definition; backup records await their
 // LogCommit (or a recovery decision).
-func (l *hostLog) append(kind recordKind, txn uint64, shard int, writes []wire.KV, epoch int) uint64 {
+func (l *hostLog) append(kind recordKind, txn uint64, shard int, writes []wire.KV, epoch int, cts uint64, kvTS []uint64) uint64 {
 	l.nextSeq++
-	rec := logRecord{seq: l.nextSeq, kind: kind, txn: txn, shard: shard, writes: writes, epoch: epoch}
+	rec := logRecord{seq: l.nextSeq, kind: kind, txn: txn, shard: shard, writes: writes, epoch: epoch, cts: cts, kvTS: kvTS}
 	idx := len(l.records)
 	if kind == recCommit {
 		rec.committed = true
@@ -85,15 +93,19 @@ func (l *hostLog) append(kind recordKind, txn uint64, shard int, writes []wire.K
 }
 
 // markCommitted moves a transaction's backup records for shard to the
-// ready queue. Idempotent; unknown (txn, shard) is a no-op (the LogCommit
-// may arrive before the record's DMA completes — the coordinator only
-// sends it after the ack, so in practice the record exists).
-func (l *hostLog) markCommitted(txn uint64, shard int) {
+// ready queue, stamping them with the decision's MVCC commit timestamp
+// (cts 0 = MVCC off). Idempotent; unknown (txn, shard) is a no-op (the
+// LogCommit may arrive before the record's DMA completes — the coordinator
+// only sends it after the ack, so in practice the record exists).
+func (l *hostLog) markCommitted(txn uint64, shard int, cts uint64) {
 	k := txnShard{txn: txn, shard: shard}
 	for _, idx := range l.byTxn[k] {
 		r := &l.records[idx]
 		if !r.committed && !r.dropped {
 			r.committed = true
+			if cts != 0 {
+				r.cts = cts
+			}
 			l.ready = append(l.ready, idx)
 		}
 	}

@@ -24,6 +24,17 @@ var (
 	// cached entries serving pre-commit versions and values to later reads
 	// and validations.
 	mutStaleIndexRead bool
+	// mutSnapshotTSAfterRead re-picks the snapshot timestamp per shard as
+	// the read fan-out proceeds instead of fixing it once up front: a
+	// commit landing between two shard reads fractures the snapshot (the
+	// SI checker must flag the torn read).
+	mutSnapshotTSAfterRead bool
+	// mutGCIgnoreSnapshots makes chain GC ignore open snapshots when
+	// computing the low-water mark AND makes a chain-miss read serve the
+	// oldest retained version instead of aborting: a long snapshot read
+	// racing committing updaters observes a version newer than its
+	// timestamp (the SI visibility check must flag it).
+	mutGCIgnoreSnapshots bool
 )
 
 // mutReleaseLocks force-releases every lock t holds (the unlock-before-log

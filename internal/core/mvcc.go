@@ -1,0 +1,196 @@
+package core
+
+// MVCC snapshot reads (DESIGN.md §12). Update transactions are assigned a
+// cluster-wide commit timestamp (cts) at their commit point; every replica
+// keeps a bounded per-key version chain stamped with these timestamps.
+// Read-only transactions read at a snapshot timestamp S = stable, where
+// stable is the host-applied watermark: the largest cts such that every
+// commit at or below it has been applied to the host store of its write
+// shards' current primaries. Reads at S therefore never need locks or
+// validation — everything visible at S is immutably in place.
+//
+// The watermark is tracked with per-cts pending shard sets: assign() seeds
+// the set with the transaction's write shards, and each shard is discharged
+// when the shard's *current* primary host-applies the commit record
+// (workerIdle / the promotion drain). Discharge is idempotent per
+// (cts, shard), so a backup promoted after the dead primary already applied
+// does not double-count. hold() re-arms a shard when a promoted primary
+// discovers an undecided record that later resolves to commit — the
+// watermark rolls back below that cts until the apply lands (safe: the
+// snapshot fence is up for the whole episode, so no snapshot is in flight
+// above the rolled-back watermark).
+//
+// GC: chains keep at most Keep old versions and drop everything older than
+// the newest version at or below lwm = min(stable, open snapshots). A read
+// that misses its chain (GC'd past S, or a promotion raced the snapshot)
+// aborts with StatusAbortSnapshot and retries at a fresher S — a
+// correctness-preserving abort that contention cannot induce.
+
+// mvState is the cluster's MVCC commit-timestamp machinery. It models the
+// timestamp oracle co-located with the membership manager; all accesses
+// happen at simulated commit/apply instants, so a plain struct suffices.
+type mvState struct {
+	enabled bool
+	keep    int    // bounded chain depth K
+	next    uint64 // last assigned commit timestamp
+	stable  uint64 // host-applied watermark
+	// pending maps an assigned cts to the set of write shards whose current
+	// primary has not yet host-applied it, as a bitmask (config.validate
+	// caps MVCC clusters at 64 nodes). A bitmask instead of a per-cts map
+	// keeps the commit hot path allocation-free.
+	pending map[uint64]uint64
+	// open holds refcounts of snapshot timestamps currently being read
+	// (GC protection for long-running snapshot reads).
+	open map[uint64]int
+	// ctsOf records every timestamp assignment by transaction id so
+	// recovery re-decisions reuse the original cts (modeling the cts
+	// riding in surviving log records) and multi-shard recoveries of one
+	// transaction agree on a single timestamp.
+	ctsOf map[uint64]uint64
+	// resume re-arms the snapshot path after a fence episode: snapshots
+	// stay disabled until stable catches up past every cts that existed
+	// while the fence was up.
+	resume uint64
+}
+
+func newMVState(enabled bool, keep int) *mvState {
+	if keep <= 0 {
+		keep = 8
+	}
+	return &mvState{
+		enabled: enabled,
+		keep:    keep,
+		pending: map[uint64]uint64{},
+		open:    map[uint64]int{},
+		ctsOf:   map[uint64]uint64{},
+	}
+}
+
+// assign allocates the next commit timestamp for txn, charging one pending
+// apply per write shard in the mask. Idempotent per transaction id.
+func (m *mvState) assign(txn uint64, shardMask uint64) uint64 {
+	if cts, ok := m.ctsOf[txn]; ok {
+		return cts
+	}
+	m.next++
+	cts := m.next
+	m.ctsOf[txn] = cts
+	m.pending[cts] = shardMask
+	return cts
+}
+
+// ctsFor returns txn's previously assigned timestamp, or assigns a fresh
+// one charged to the given shards (recovery of a pre-commit-point txn).
+func (m *mvState) ctsFor(txn uint64, shardMask uint64) uint64 {
+	return m.assign(txn, shardMask)
+}
+
+// applied discharges shard's pending apply for cts; idempotent.
+func (m *mvState) applied(cts uint64, shard int) {
+	set, ok := m.pending[cts]
+	if !ok {
+		return
+	}
+	set &^= 1 << uint(shard)
+	if set == 0 {
+		delete(m.pending, cts)
+		m.advance()
+	} else {
+		m.pending[cts] = set
+	}
+}
+
+// hold re-arms shard's pending apply for cts and rolls the watermark back
+// below it: a promoted primary holds a just-decided record it has not yet
+// applied. Only called while the snapshot fence is up.
+func (m *mvState) hold(cts uint64, shard int) {
+	if cts == 0 {
+		return
+	}
+	m.pending[cts] |= 1 << uint(shard)
+	if m.stable >= cts {
+		m.stable = cts - 1
+	}
+}
+
+// shardRecovered discharges shard from every pending entry: a promotion
+// drain has synchronously applied every decided record, making the new
+// primary the authority for the shard. Undecided records are re-held when
+// they resolve (hold).
+func (m *mvState) shardRecovered(shard int) {
+	bit := uint64(1) << uint(shard)
+	for cts, set := range m.pending {
+		if set&bit != 0 {
+			set &^= bit
+			if set == 0 {
+				delete(m.pending, cts)
+			} else {
+				m.pending[cts] = set
+			}
+		}
+	}
+	m.advance()
+}
+
+func (m *mvState) advance() {
+	for m.stable < m.next {
+		if _, busy := m.pending[m.stable+1]; busy {
+			break
+		}
+		m.stable++
+	}
+}
+
+// snapOpen registers an in-flight snapshot at S (GC protection).
+func (m *mvState) snapOpen(S uint64) { m.open[S]++ }
+
+// snapClose deregisters an in-flight snapshot.
+func (m *mvState) snapClose(S uint64) {
+	if m.open[S]--; m.open[S] <= 0 {
+		delete(m.open, S)
+	}
+}
+
+// lwm is the GC low-water mark: no chain entry visible at or above it may
+// be dropped (bounded depth K excepted). Called once per applied KV, so it
+// only walks the open-snapshot map when snapshots are actually in flight.
+func (m *mvState) lwm() uint64 {
+	low := m.stable
+	if !mutGCIgnoreSnapshots && len(m.open) > 0 {
+		for s := range m.open {
+			if s < low {
+				low = s
+			}
+		}
+	}
+	return low
+}
+
+// snapReady reports whether the lock-free snapshot path may serve new
+// read-only transactions, continuously re-arming the resume floor while
+// any recovery, promotion, or rejoin activity is in flight.
+func (cl *Cluster) snapReady() bool {
+	m := cl.mv
+	if m == nil || !m.enabled {
+		return false
+	}
+	for _, n := range cl.nodes {
+		if !n.alive {
+			continue
+		}
+		if len(n.recov) != 0 || len(n.pendingDecide) != 0 || n.rejoin != nil {
+			m.resume = m.next
+			return false
+		}
+		for _, p := range n.prims {
+			if !p.ready {
+				m.resume = m.next
+				return false
+			}
+		}
+	}
+	return m.stable >= m.resume
+}
+
+// snapTS picks the snapshot timestamp for a new read-only transaction.
+func (cl *Cluster) snapTS() uint64 { return cl.mv.stable }

@@ -45,6 +45,17 @@ type Stats struct {
 	// RecoveryRefreshes counts in-flight recovery votes restarted because a
 	// view change shrank or reshaped the surviving replica set.
 	RecoveryRefreshes int64
+
+	// Read-only transaction breakdown (populated whether or not MVCC is on,
+	// but only aggregated into results when non-zero so MVCC-off output is
+	// unchanged).
+	ROCommitted int64 // committed read-only transactions
+	ROAborts    int64 // abort events of read-only transactions
+	ROLatency   *metrics.Histogram
+	// Snapshot-path counters (MVCC, DESIGN.md §12).
+	SnapCommitted int64 // read-only commits served by the lock-free snapshot path
+	SnapInline    int64 // snapshot keys resolved from the NIC version cache
+	SnapWalks     int64 // snapshot keys resolved by a DMA chain walk
 }
 
 // primaryShard is one shard this node currently serves as primary: its data
@@ -55,6 +66,11 @@ type primaryShard struct {
 	data  *ShardData
 	index *nicindex.Index
 	ready bool
+	// mvFloor fences MVCC snapshot reads after a promotion: the cluster
+	// timestamp when this node adopted the shard. A snapshot read below it
+	// was picked against the pre-failure primary and aborts (retrying at a
+	// fresher timestamp once the fence episode ends).
+	mvFloor uint64
 }
 
 // Node is one Xenic server: host threads, the on-path SmartNIC, the
@@ -223,6 +239,11 @@ func (n *Node) nicHandler(c *nicrt.Core, src int, m wire.Msg) {
 		n.handleRecoveryResp(c, m)
 	case *wire.RecoveryDecide:
 		n.handleRecoveryDecide(c, m)
+	// MVCC snapshot reads.
+	case *wire.SnapshotRead:
+		n.handleSnapshotRead(c, src, m)
+	case *wire.SnapshotResp:
+		n.coordSnapResp(c, m)
 	// State transfer (rejoin after restart).
 	case *wire.StatePull:
 		n.handleStatePull(c, src, m)
@@ -301,14 +322,21 @@ func (n *Node) handleLogCommit(c *nicrt.Core, m *wire.LogCommit) {
 	if keys, ok := n.pendingDecide[ts]; ok {
 		delete(n.pendingDecide, ts)
 		writes, has := n.log.has(m.TxnID, shard)
-		n.log.markCommitted(m.TxnID, shard)
+		n.log.markCommitted(m.TxnID, shard, m.CTS)
 		if has {
-			n.commitShard(c, shard, m.TxnID, writes, keys, func() {})
+			if m.CTS != 0 {
+				// The promotion drain bulk-discharged this shard; the commit
+				// now resolving is not host-applied here yet, so the snapshot
+				// watermark must wait for it again (the snapshot fence is up
+				// throughout, so no read observes the rollback).
+				n.cl.mv.hold(m.CTS, shard)
+			}
+			n.commitShard(c, shard, m.TxnID, writes, keys, m.CTS, func() {})
 		}
 		n.wakeWorkers()
 		return
 	}
-	n.log.markCommitted(m.TxnID, shard)
+	n.log.markCommitted(m.TxnID, shard, m.CTS)
 	n.wakeWorkers()
 }
 

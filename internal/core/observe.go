@@ -197,6 +197,9 @@ func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
 			s.Measured += n.stats.Measured
 			s.Aborts += n.stats.Aborts
 			s.Failed += n.stats.Failed
+			s.SnapCommitted += n.stats.SnapCommitted
+			s.SnapInline += n.stats.SnapInline
+			s.SnapWalks += n.stats.SnapWalks
 		}
 		return s.txnSnapshot()
 	})
@@ -229,12 +232,20 @@ func (cl *Cluster) RegisterMetrics(reg *metrics.Registry) {
 }
 
 func (s *Stats) txnSnapshot() map[string]any {
-	return map[string]any{
+	out := map[string]any{
 		"committed": s.Committed,
 		"measured":  s.Measured,
 		"aborts":    s.Aborts,
 		"failed":    s.Failed,
 	}
+	// Snapshot-path counters appear only once the MVCC path has served
+	// work, keeping MVCC-off stats byte-identical to the pre-MVCC seed.
+	if s.SnapCommitted|s.SnapInline|s.SnapWalks != 0 {
+		out["snap_committed"] = s.SnapCommitted
+		out["snap_inline"] = s.SnapInline
+		out["snap_walks"] = s.SnapWalks
+	}
+	return out
 }
 
 // timeoutMap keys non-zero watchdog expirations by phase name.

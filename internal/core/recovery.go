@@ -303,7 +303,19 @@ func (n *Node) adoptShards(c *nicrt.Core, v membership.View) {
 		idx := nicindex.New(data.Hash, n.cl.cacheCap(), 1)
 		idx.SyncHints()
 		n.hookIndex(s, idx)
+		if n.cl.mv.enabled {
+			idx.SetTSFunc(data.HeadTS)
+			idx.SetChainDepth(n.cl.mv.keep)
+		}
 		n.prims[s] = &primaryShard{data: data, index: idx, ready: false}
+		if n.cl.mv.enabled {
+			// The drain above bypassed the worker ack path, so discharge the
+			// shard from every pending watermark entry — this copy is now the
+			// authority. Snapshot reads at timestamps picked before the
+			// promotion are fenced off: their resolution raced the failover.
+			n.cl.mv.shardRecovered(s)
+			n.prims[s].mvFloor = n.cl.mv.next
+		}
 
 		// Decide every undecided record for the shard. Records from DEAD
 		// coordinators are decided by querying the surviving replicas;
@@ -338,17 +350,20 @@ func (n *Node) adoptShards(c *nicrt.Core, v membership.View) {
 	}
 }
 
-// applyRecord applies one decided log record (promotion drain).
+// applyRecord applies one decided log record (promotion drain) through the
+// same per-kind path the worker uses: commit records maintain version
+// chains, backup records apply chain-less (see applyKV — the promotion
+// fence makes understated chain state on an adopted replica safe).
 func (n *Node) applyRecord(c *nicrt.Core, r *logRecord) {
-	for _, kv := range r.writes {
+	for ki, kv := range r.writes {
 		switch r.kind {
 		case recBackup:
 			if b, ok := n.backups[r.shard]; ok {
-				b.Apply(kv)
+				n.applyKV(b, r, ki, kv)
 			}
 		case recCommit:
 			if p := n.prim(r.shard); p != nil {
-				p.data.Apply(kv)
+				n.applyKV(p.data, r, ki, kv)
 			}
 		}
 	}
@@ -378,7 +393,7 @@ func (n *Node) finishPromotion(c *nicrt.Core, shard int) {
 	p.ready = true
 	// Fence: surviving backups drop any undecided records this primary
 	// does not hold (those transactions cannot have committed).
-	n.broadcastDecide(c, 0, shard, false)
+	n.broadcastDecide(c, 0, shard, false, 0)
 }
 
 // sweepOrphanLocks finds locks held by transactions whose coordinator died
@@ -483,15 +498,25 @@ func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
 	commit := r.allHave && r.writes != nil
 	p := n.prim(r.shard)
 
+	var cts uint64
 	if commit {
 		unlock := r.lockedKeys
 		if unlock == nil {
 			// Promotion scan: the fresh index holds no locks for it.
 			unlock = []uint64{}
 		}
-		n.recordRecovered(r.txn, r.writes)
-		n.log.markCommitted(r.txn, r.shard)
-		n.commitShard(c, r.shard, r.txn, r.writes, unlock, func() {})
+		if n.cl.mv.enabled {
+			// Reuse the original commit timestamp when the dead coordinator
+			// assigned one (it rides in the surviving records), else mint a
+			// fresh one; hold() re-arms this shard's pending apply so the
+			// snapshot watermark waits for the recovered write to land. Safe:
+			// the fence is up for the whole recovery episode.
+			cts = n.cl.mv.ctsFor(r.txn, 0)
+			n.cl.mv.hold(cts, r.shard)
+		}
+		n.recordRecovered(r.txn, r.writes, cts)
+		n.log.markCommitted(r.txn, r.shard, cts)
+		n.commitShard(c, r.shard, r.txn, r.writes, unlock, cts, func() {})
 		n.wakeWorkers()
 	} else {
 		n.log.drop(r.txn, r.shard)
@@ -500,7 +525,7 @@ func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
 		}
 	}
 	// Tell surviving backups the fate of their records.
-	n.broadcastDecide(c, r.txn, r.shard, commit)
+	n.broadcastDecide(c, r.txn, r.shard, commit, cts)
 	if r.promotion {
 		n.finishPromotion(c, r.shard)
 	}
@@ -508,23 +533,23 @@ func (n *Node) decideRecovery(c *nicrt.Core, r *recovering) {
 
 // broadcastDecide announces a recovery outcome (or, with txn 0, the
 // promotion fence) to the shard's surviving backups.
-func (n *Node) broadcastDecide(c *nicrt.Core, txn uint64, shard int, commit bool) {
+func (n *Node) broadcastDecide(c *nicrt.Core, txn uint64, shard int, commit bool, cts uint64) {
 	for _, b := range n.cl.viewBackups(shard) {
 		if b == n.id {
 			continue
 		}
 		c.Send(b, &wire.RecoveryDecide{
 			Header: wire.Header{TxnID: txn, Src: uint8(n.id)},
-			Shard:  uint8(shard), Commit: commit,
+			Shard:  uint8(shard), Commit: commit, CTS: cts,
 		})
 	}
 }
 
 // resolveRecord applies a recovery decision to this node's log: commit
 // (mark decided, wake workers to apply) or drop.
-func (n *Node) resolveRecord(txn uint64, shard int, commit bool) {
+func (n *Node) resolveRecord(txn uint64, shard int, commit bool, cts uint64) {
 	if commit {
-		n.log.markCommitted(txn, shard)
+		n.log.markCommitted(txn, shard, cts)
 		n.wakeWorkers()
 		return
 	}
@@ -558,5 +583,5 @@ func (n *Node) handleRecoveryDecide(c *nicrt.Core, m *wire.RecoveryDecide) {
 		}
 		// fall through to record the decision below
 	}
-	n.resolveRecord(m.TxnID, shard, m.Commit)
+	n.resolveRecord(m.TxnID, shard, m.Commit, m.CTS)
 }

@@ -246,6 +246,12 @@ func (n *Node) handleStatePull(c *nicrt.Core, src int, m *wire.StatePull) {
 			continue // deleted since the snapshot; a forward covered it
 		}
 		resp.KVs = append(resp.KVs, wire.KV{Key: k, Version: ver, Value: v})
+		if n.cl.mv.enabled {
+			// Ship the chain head timestamp so the rejoined replica's chains
+			// restart from a coherent base (history below it is not
+			// transferred; reads below the base fall back to abort+retry).
+			resp.TSs = append(resp.TSs, p.data.HeadTS(k))
+		}
 		bytes += 16 + len(v)
 	}
 	if bytes == 0 {
@@ -283,8 +289,8 @@ func (n *Node) handleStateChunk(c *nicrt.Core, src int, m *wire.StateChunk) {
 		advance()
 		return
 	}
-	n.appendLog(c, recBackup, 0, shard, m.KVs, func(uint64) {
-		n.log.markCommitted(0, shard)
+	n.appendLogTS(c, recBackup, 0, shard, m.KVs, 0, m.TSs, func(uint64) {
+		n.log.markCommitted(0, shard, 0)
 		n.wakeWorkers()
 		advance()
 	})
@@ -298,8 +304,8 @@ func (n *Node) handleStateForward(c *nicrt.Core, m *wire.StateForward) {
 	if _, ok := n.backups[shard]; !ok {
 		return // restarted again since the session opened; a fresh pull recopies
 	}
-	n.appendLog(c, recBackup, m.TxnID, shard, m.Writes, func(uint64) {
-		n.log.markCommitted(m.TxnID, shard)
+	n.appendLogTS(c, recBackup, m.TxnID, shard, m.Writes, m.CTS, nil, func(uint64) {
+		n.log.markCommitted(m.TxnID, shard, m.CTS)
 		n.wakeWorkers()
 	})
 }

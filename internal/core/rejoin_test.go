@@ -3,9 +3,11 @@ package core
 import (
 	"testing"
 
+	"xenic/internal/check"
 	"xenic/internal/fault"
 	"xenic/internal/sim"
 	"xenic/internal/wire"
+	"xenic/internal/workload/retwis"
 )
 
 // rejoinConfig is testConfig plus a fault plan (restart mechanics — epoch
@@ -66,6 +68,57 @@ func TestRestartRejoin(t *testing.T) {
 	}
 	if err := cl.ReplicasConsistent(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestViewChangeReleasesInFlightLocalExecLocks pins a lock leak in the
+// EXECUTE round: when a view change (here, the rejoin at restart) aborts an
+// in-flight transaction, abortInFlight sweeps t.locked — but a local EXECUTE
+// unit still in flight at the coordinator's own shard acquires its locks
+// *after* the sweep, and coordExecPart's dead-transaction guard used to drop
+// them on the floor (remote stragglers get a cleanup Abort; the local path
+// had no analogue). The drain-time audit catches the orphan. The cell is the
+// checksweep configuration that first witnessed the leak.
+func TestViewChangeReleasesInFlightLocalExecLocks(t *testing.T) {
+	g := retwis.New()
+	g.KeysPerServer = 2000
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Replication = 3
+	cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 2, 4
+	cfg.Outstanding = 4
+	cfg.Seed = 1
+	cfg.MVCC = true
+	plan, err := fault.Parse("crash=2@500us,restart=2@3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = plan
+	cl, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := check.NewHistory()
+	cl.SetHistory(h)
+	cl.Start()
+	cl.Run(6 * sim.Millisecond)
+	if !cl.Drain(500 * sim.Millisecond) {
+		t.Fatal("cluster did not drain")
+	}
+	viewAborts := 0
+	for _, r := range h.Records() {
+		if r.Status == wire.StatusAbortView {
+			viewAborts++
+		}
+	}
+	if viewAborts == 0 {
+		t.Fatal("no view-change aborts recorded; the scenario never raced an in-flight EXECUTE against a view change")
+	}
+	if rep := h.Check(); !rep.Ok() {
+		t.Fatalf("history not serializable:\n%s", rep.String())
+	}
+	if err := cl.AuditHistory(); err != nil {
+		t.Fatalf("drain-time audit failed (leaked in-flight EXECUTE locks): %v", err)
 	}
 }
 

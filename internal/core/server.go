@@ -222,6 +222,14 @@ func (n *Node) handleValidate(c *nicrt.Core, src int, m *wire.Validate) {
 // calls done once the record is durable (§4.2 step 5).
 func (n *Node) appendLog(c *nicrt.Core, kind recordKind, txn uint64, shard int,
 	writes []wire.KV, done func(seq uint64)) {
+	n.appendLogTS(c, kind, txn, shard, writes, 0, nil, done)
+}
+
+// appendLogTS is appendLog with MVCC metadata: cts stamps commit records
+// with their commit timestamp; kvTS carries per-KV snapshot bases for
+// state-transfer chunk records. Both zero-valued under MVCC-off.
+func (n *Node) appendLogTS(c *nicrt.Core, kind recordKind, txn uint64, shard int,
+	writes []wire.KV, cts uint64, kvTS []uint64, done func(seq uint64)) {
 
 	// Stamp the record with its origin epoch — the frame's when handling a
 	// remote Log, else this node's own — before the DMA completes (the
@@ -232,7 +240,7 @@ func (n *Node) appendLog(c *nicrt.Core, kind recordKind, txn uint64, shard int,
 		epoch = n.nic.Epoch()
 	}
 	c.DMAWrite([]int{recordBytes(writes)}, func() {
-		seq := n.log.append(kind, txn, shard, writes, epoch)
+		seq := n.log.append(kind, txn, shard, writes, epoch, cts, kvTS)
 		n.wakeWorkers()
 		done(seq)
 	})
@@ -256,9 +264,10 @@ func (n *Node) handleLog(c *nicrt.Core, src int, m *wire.Log) {
 
 // commitShard applies a committed write set at this (primary) node: the
 // commit record is logged, cached entries are updated and pinned, and the
-// locks release once the record is durable (§4.2 step 6).
+// locks release once the record is durable (§4.2 step 6). cts is the MVCC
+// commit timestamp of the deciding commit (0 = MVCC off).
 func (n *Node) commitShard(c *nicrt.Core, shard int, txn uint64, writes []wire.KV,
-	unlockKeys []uint64, done func()) {
+	unlockKeys []uint64, cts uint64, done func()) {
 
 	p := n.prim(shard)
 	if p == nil {
@@ -272,7 +281,7 @@ func (n *Node) commitShard(c *nicrt.Core, shard int, txn uint64, writes []wire.K
 		n.cl.fwdInFlight[sess.node]++
 		c.Send(sess.node, &wire.StateForward{
 			Header: wire.Header{TxnID: txn, Src: uint8(n.id)},
-			Shard:  uint8(shard), Writes: writes,
+			Shard:  uint8(shard), Writes: writes, CTS: cts,
 		})
 	}
 	n.chargeIndexOps(c, len(writes))
@@ -282,12 +291,12 @@ func (n *Node) commitShard(c *nicrt.Core, shard int, txn uint64, writes []wire.K
 			if n.place().IsBTree(kv.Key) {
 				p.index.ApplyCommitMeta(kv.Key, kv.Version)
 			} else {
-				p.index.ApplyCommit(kv.Key, kv.Value, kv.Version)
+				p.index.ApplyCommitTS(kv.Key, kv.Value, kv.Version, cts)
 			}
 			pinned = append(pinned, kv.Key)
 		}
 	}
-	n.appendLog(c, recCommit, txn, shard, writes, func(seq uint64) {
+	n.appendLogTS(c, recCommit, txn, shard, writes, cts, nil, func(seq uint64) {
 		n.pins[seq] = pinned
 		n.pinIdx[seq] = p.index
 		n.chargeIndexOps(c, len(unlockKeys))
@@ -307,7 +316,7 @@ func (n *Node) commitShard(c *nicrt.Core, shard int, txn uint64, writes []wire.K
 func (n *Node) handleCommit(c *nicrt.Core, src int, m *wire.Commit) {
 	shard := n.place().ShardOf(m.Writes[0].Key)
 	unlock := n.takeLockSet(m.TxnID, m.Writes)
-	n.commitShard(c, shard, m.TxnID, m.Writes, unlock, func() {
+	n.commitShard(c, shard, m.TxnID, m.Writes, unlock, m.CTS, func() {
 		c.Send(src, &wire.CommitResp{
 			Header: wire.Header{TxnID: m.TxnID, Src: uint8(n.id)},
 			Status: wire.StatusOK,

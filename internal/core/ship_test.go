@@ -34,6 +34,99 @@ func (g *shipGen) Next(node, thread int, rng *rand.Rand) *txnmodel.TxnDesc {
 	}
 }
 
+// shipSplitGen generates transactions with a read on the issuing node's own
+// shard and updates on shard 2 plus shard (node+1)%4. Before any crash these
+// span two remote nodes and take the normal OCC path; once node 2 crashes and
+// a survivor is promoted to primary of shard 2, that survivor's transactions
+// see exactly one remote node and ship — holding a local read lock on its
+// original shard while the write commits on the adopted shard.
+type shipSplitGen struct{ kvGen }
+
+func (g *shipSplitGen) Next(node, thread int, rng *rand.Rand) *txnmodel.TxnDesc {
+	pick := func(shard int) uint64 {
+		k := uint64(rng.Intn(g.keys))
+		k = k - k%4 + uint64(shard)
+		if k >= uint64(g.keys) {
+			k = uint64(shard)
+		}
+		return k
+	}
+	r := pick(node)
+	u := pick(2)
+	w := pick((node + 1) % 4)
+	for w == u {
+		w = pick((node + 1) % 4)
+	}
+	st := make([]byte, 2)
+	binary.LittleEndian.PutUint16(st, 2)
+	return &txnmodel.TxnDesc{
+		NICExec:    true,
+		ReadKeys:   []uint64{r},
+		UpdateKeys: []uint64{u, w},
+		FnID:       fnIncr,
+		State:      st,
+	}
+}
+
+// TestShippedCommitReleasesAdoptedShardReadLocks pins a lock leak in the
+// shipped commit path: the coordinator's lock-all covers read keys too, and
+// after a promotion the coordinator can serve two shards. When the shipped
+// write set lands on one local shard (committed via commitShard, which
+// releases only that shard's locks) the read locks held on the *other* local
+// shard must still be released — a single "did any local commit run" bit
+// suppressed that release and left orphan locks behind, caught by the
+// drain-time audit.
+func TestShippedCommitReleasesAdoptedShardReadLocks(t *testing.T) {
+	g := &shipSplitGen{kvGen{keys: 64, keysPer: 1}}
+	cfg := testConfig(4, AllFeatures())
+	cfg.Seed = 7
+	crashAt := 500 * sim.Microsecond
+	cfg.Faults = &fault.Plan{Crashes: []fault.Crash{{Node: 2, At: crashAt}}}
+	cl, err := New(cfg, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := check.NewHistory()
+	cl.SetHistory(h)
+	cl.Start()
+	cl.Run(3 * sim.Millisecond)
+	if !cl.Drain(500 * sim.Millisecond) {
+		t.Fatal("cluster did not drain")
+	}
+
+	// Non-vacuity: at least one post-crash shipped commit must have written
+	// the adopted shard 2 while reading the coordinator's own shard.
+	bugShape := 0
+	for _, r := range h.Records() {
+		if !r.Shipped || r.Status != wire.StatusOK || r.End <= crashAt || r.Node == 2 {
+			continue
+		}
+		wroteAdopted, readOwn := false, false
+		for _, kv := range r.Writes {
+			if kv.Key%4 == 2 {
+				wroteAdopted = true
+			}
+		}
+		for _, kv := range r.Reads {
+			if kv.Key%4 == uint64(r.Node) {
+				readOwn = true
+			}
+		}
+		if wroteAdopted && readOwn {
+			bugShape++
+		}
+	}
+	if bugShape == 0 {
+		t.Fatal("no post-crash shipped commit wrote the adopted shard while holding a local read lock; the scenario did not exercise the leak path")
+	}
+	if rep := h.Check(); !rep.Ok() {
+		t.Fatalf("history not serializable:\n%s", rep.String())
+	}
+	if err := cl.AuditHistory(); err != nil {
+		t.Fatalf("drain-time audit failed (leaked shipped read locks): %v", err)
+	}
+}
+
 // TestDelayedShipDoesNotTimeoutAbort pins the watchdog's shipped-phase
 // contract: a slow ship target (all its NIC cores stalled well past the
 // transaction timeout) must never cause a timeout abort of a transaction

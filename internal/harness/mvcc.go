@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+
+	"xenic/internal/core"
+	"xenic/internal/sim"
+	"xenic/internal/txnmodel"
+	"xenic/internal/workload/retwis"
+	"xenic/internal/workload/smallbank"
+)
+
+// The mvcc experiment measures the DESIGN.md §12 claim: under a read-heavy,
+// high-skew mix, routing read-only transactions through the lock-free MVCC
+// snapshot path removes their aborts entirely (they never enter the lock
+// table or validate) and lifts goodput, while the OCC path pays validation
+// aborts that grow with contention. Each cell pair runs the identical
+// workload and seed with MVCC off then on.
+
+func init() {
+	register(&Experiment{
+		ID:       "mvcc",
+		Title:    "MVCC snapshot reads: read-heavy high-skew sweep, OCC vs snapshot path",
+		PaperRef: "DESIGN.md §12: lock-free read-only transactions at a consistent timestamp",
+		Run:      runMVCCSweep,
+	})
+}
+
+func runMVCCSweep(opt Options) *Report {
+	warm, win := 2*sim.Millisecond, 8*sim.Millisecond
+	if opt.Quick {
+		warm, win = 1*sim.Millisecond, 3*sim.Millisecond
+	}
+
+	// Small populations and hard skew (Retwis Zipf alpha 0.9; Smallbank's
+	// hot set shrunk to 1% taking 95% of traffic) keep the hot keys hot
+	// enough that the OCC read path pays real validation aborts.
+	type cellDef struct {
+		workload string
+		roFrac   float64
+		gen      func() txnmodel.Generator
+	}
+	var defs []cellDef
+	for _, ro := range []float64{0.8, 0.95} {
+		ro := ro
+		defs = append(defs, cellDef{"retwis", ro, func() txnmodel.Generator {
+			g := retwis.New()
+			// Large enough that the multi-write Retwis transactions do not
+			// gridlock the lock table outright (which would gate throughput
+			// on update latency for both paths), small and skewed enough
+			// that the hot read set is update-contended.
+			g.KeysPerServer = 4000
+			g.Alpha = 0.9
+			g.ReadOnlyFrac = ro
+			return g
+		}})
+		defs = append(defs, cellDef{"smallbank", ro, func() txnmodel.Generator {
+			g := smallbank.New()
+			g.AccountsPerServer = 1000
+			g.HotFrac, g.HotProb = 0.01, 0.95
+			g.ReadOnlyFrac = ro
+			return g
+		}})
+	}
+
+	// Cells interleave off/on per definition: cell 2i is MVCC off, 2i+1 on.
+	results := runCells(opt, 2*len(defs), func(i int, o Options) Result {
+		d := defs[i/2]
+		cfg := core.DefaultConfig()
+		cfg.Nodes = 4
+		cfg.Replication = 3
+		cfg.AppThreads, cfg.WorkerThreads, cfg.NICCores = 2, 3, 8
+		cfg.Outstanding = 16
+		cfg.Seed = o.Seed
+		cfg.MVCC = i%2 == 1
+		cl, err := core.New(cfg, d.gen())
+		if err != nil {
+			panic(err)
+		}
+		tel := o.Telemetry.Attach(cl)
+		res := cl.Measure(warm, win)
+		label := fmt.Sprintf("mvcc/%s-ro%.0f-%s", d.workload, 100*d.roFrac, onOff(cfg.MVCC))
+		o.Stats.Snap(label, cl.RegisterMetrics)
+		o.Telemetry.Done(label, tel)
+		return res
+	})
+
+	r := &Report{ID: "mvcc",
+		Title:  "read-heavy high-skew sweep: OCC read path vs MVCC snapshot path",
+		Header: []string{"workload", "ro-mix", "mvcc", "tput/server", "aborts", "ro-aborts", "snap-txns", "ro-p50", "ro-p99", "goodput"}}
+
+	roAbortFree, goodputUp := true, true
+	for i, d := range defs {
+		off, on := results[2*i], results[2*i+1]
+		gain := 0.0
+		if off.PerServerTput > 0 {
+			gain = on.PerServerTput / off.PerServerTput
+		}
+		r.AddCells(Text(d.workload), Text(fmt.Sprintf("%.0f%%", 100*d.roFrac)), Text("off"),
+			Tput(off.PerServerTput), Count(int(off.Aborts)), Count(int(off.ROAborts)),
+			Count(int(off.SnapCommitted)), Text("-"), Text("-"), Text("1.00x"))
+		r.AddCells(Text(d.workload), Text(fmt.Sprintf("%.0f%%", 100*d.roFrac)), Text("on"),
+			Tput(on.PerServerTput), Count(int(on.Aborts)), Count(int(on.ROAborts)),
+			Count(int(on.SnapCommitted)), Micros(on.ROMedian), Micros(on.ROP99),
+			Num(gain, fmt.Sprintf("%.2fx", gain)))
+		if on.ROAborts != 0 {
+			roAbortFree = false
+		}
+		if gain <= 1.0 {
+			goodputUp = false
+		}
+	}
+	if roAbortFree {
+		r.AddNote("read-only aborts with MVCC on: 0 in every cell (snapshot reads never lock or validate)")
+	} else {
+		r.AddNote("FAILURE: read-only transactions aborted with MVCC on")
+	}
+	if goodputUp {
+		r.AddNote("goodput improved in every off->on pair at this contention level")
+	} else {
+		r.AddNote("goodput did not improve in every pair; see the goodput column")
+	}
+	r.AddNote("MVCC-off cells leave the Result's read-only breakdown zero by design (byte-identical seed discipline); their RO traffic rides the OCC path inside the aborts column")
+	finishTelemetry(r, opt)
+	return r
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

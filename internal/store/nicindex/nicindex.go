@@ -31,6 +31,23 @@ type Object struct {
 	LockOwner uint64 // transaction id holding the lock
 	Pinned    int    // commit-pin count; pinned entries cannot be evicted (§4.2 step 6)
 	ref       bool   // CLOCK reference bit
+
+	// MVCC version metadata (zero-valued unless the owning cluster runs
+	// with snapshot reads enabled). TS is the commit timestamp of the
+	// cached head version: stamped by ApplyCommitTS on commit, or read
+	// from the row header on a DMA fill (0 = the row predates timestamp
+	// tracking, visible to every snapshot). Hist holds displaced older
+	// versions, newest first, so snapshot reads below the head resolve
+	// without a DMA walk. Hist values count against the cache capacity.
+	TS   uint64
+	Hist []Ver
+}
+
+// Ver is one retained older version of a cached object.
+type Ver struct {
+	TS      uint64 // commit timestamp that installed it
+	Version uint64
+	Value   []byte
 }
 
 // ReadOp describes one DMA read a lookup performed.
@@ -109,6 +126,13 @@ type Index struct {
 	stats    Stats
 
 	lockTrace LockTrace
+
+	// tsOf reads a key's head commit timestamp from the host row header
+	// during a DMA fill (the simulated Slot does not carry the packed
+	// header field). Installed only when MVCC snapshot reads are on.
+	tsOf func(key uint64) uint64
+	// chainDepth bounds per-entry Hist length (0 = keep no history).
+	chainDepth int
 }
 
 // New creates an index over host with the given cached-value capacity.
@@ -143,6 +167,15 @@ func (x *Index) Stats() Stats { return x.stats }
 
 // SetLockTrace installs (or clears) the lock-transition hook.
 func (x *Index) SetLockTrace(fn LockTrace) { x.lockTrace = fn }
+
+// SetTSFunc installs the row-header timestamp reader used by DMA fills
+// (MVCC snapshot reads). The hook reads the same host row the fill's DMA
+// fetched, so it carries no extra charge.
+func (x *Index) SetTSFunc(fn func(key uint64) uint64) { x.tsOf = fn }
+
+// SetChainDepth bounds the per-entry version history retained for serving
+// snapshot reads from the cache (0 = none).
+func (x *Index) SetChainDepth(k int) { x.chainDepth = k }
 
 // CachedValues reports how many objects currently have cached values.
 func (x *Index) CachedValues() int { return x.cached }
@@ -286,11 +319,24 @@ func (x *Index) fill(key uint64, value []byte, version uint64, exists bool) {
 		// index already vouched for.
 		return
 	}
+	var ts uint64
+	if x.tsOf != nil {
+		ts = x.tsOf(key)
+		if ts < o.TS {
+			// Same lag, multi-version form: versions of distinct keys are
+			// independent counters, so a blind re-insert can carry an equal
+			// version with an older commit timestamp. The timestamp the
+			// index vouched for must not regress either, or a snapshot read
+			// would judge visibility against the wrong head.
+			return
+		}
+	}
 	if !o.HasValue {
 		if x.cached >= x.capacity && !x.evict() {
 			// Nothing evictable: keep metadata only.
 			o.Version = version
 			o.Exists = exists
+			o.TS = ts
 			return
 		}
 		x.cached++
@@ -300,6 +346,7 @@ func (x *Index) fill(key uint64, value []byte, version uint64, exists bool) {
 	o.HasValue = true
 	o.Version = version
 	o.Exists = exists
+	o.TS = ts
 	o.ref = true
 }
 
@@ -331,11 +378,13 @@ func (x *Index) evict() bool {
 			continue
 		}
 		// Evict the value; keep metadata only if locked/pinned state
-		// matters (it doesn't here), else drop the whole entry.
+		// matters (it doesn't here), else drop the whole entry. The
+		// version history goes with it — hist values share the entry's
+		// cache residency.
 		x.ring[x.hand] = x.ring[len(x.ring)-1]
 		x.ring = x.ring[:len(x.ring)-1]
 		delete(x.objects, key)
-		x.cached--
+		x.cached -= 1 + len(o.Hist)
 		x.stats.Evictions++
 		return true
 	}
@@ -449,7 +498,40 @@ func (x *Index) ForceUnlockAll() {
 // and pins the entry until the host applies the log (§4.2 step 6). The
 // caller must hold the lock.
 func (x *Index) ApplyCommit(key uint64, value []byte, version uint64) {
+	x.ApplyCommitTS(key, value, version, 0)
+}
+
+// ApplyCommitTS is ApplyCommit stamped with the commit's MVCC timestamp
+// (cts 0 = MVCC off, byte-identical to ApplyCommit). When history is
+// enabled, the displaced head version is pushed onto the entry's Hist so
+// snapshot reads just below the new head stay cache-resident.
+func (x *Index) ApplyCommitTS(key uint64, value []byte, version uint64, cts uint64) {
 	o := x.ensure(key)
+	// Pin first: the best-effort evictions below must never pick this
+	// entry itself.
+	o.Pinned++
+	if cts != 0 && x.chainDepth > 0 && o.HasValue && o.Exists {
+		// Move the head's buffer into the chain rather than copying it. The
+		// displaced value migrates intact and the head gets a fresh buffer
+		// below, so an in-flight snapshot response that aliased either one
+		// keeps a consistent value — the in-place head overwrite is only
+		// safe on the OCC path, where validation catches the version change.
+		o.Hist = append(o.Hist, Ver{})
+		copy(o.Hist[1:], o.Hist)
+		o.Hist[0] = Ver{TS: o.TS, Version: o.Version, Value: o.Value}
+		o.Value = nil // the buffer now lives in Hist[0]; never reuse it
+		if len(o.Hist) > x.chainDepth {
+			o.Hist = o.Hist[:x.chainDepth]
+		} else {
+			// The retained hist value occupies cache space; evict elsewhere
+			// (best effort — like the head below, the cache may run
+			// transiently over capacity until Unpin sheds it).
+			if x.cached >= x.capacity {
+				x.evict()
+			}
+			x.cached++
+		}
+	}
 	if !o.HasValue {
 		if x.cached >= x.capacity {
 			// Best effort: the committed value must be retained even when
@@ -466,8 +548,36 @@ func (x *Index) ApplyCommit(key uint64, value []byte, version uint64) {
 	o.Value = append(o.Value[:0], value...)
 	o.Version = version
 	o.Exists = true
-	o.Pinned++
+	if cts != 0 {
+		o.TS = cts
+	}
 	o.ref = true
+}
+
+// LookupAt resolves the newest version of key visible at snapshot S from
+// the cache alone. ok=false means the cache cannot prove what S sees and
+// the caller must fall back to a DMA walk of the host row's version chain;
+// it never means the version does not exist. Charge-free: a hit serves
+// entirely from NIC memory.
+func (x *Index) LookupAt(key, S uint64) (value []byte, version uint64, ok bool) {
+	o, found := x.objects[key]
+	if !found || !o.HasValue {
+		return nil, 0, false
+	}
+	if o.TS <= S {
+		// The cached head was committed at or before S: it is exactly the
+		// version S sees (coherence with the host is the cache invariant
+		// OCC validation already relies on).
+		o.ref = true
+		return o.Value, o.Version, true
+	}
+	for i := range o.Hist {
+		if o.Hist[i].TS <= S {
+			o.ref = true
+			return o.Hist[i].Value, o.Hist[i].Version, true
+		}
+	}
+	return nil, 0, false
 }
 
 // ApplyCommitMeta records a committed version without caching a value —
@@ -495,7 +605,8 @@ func (x *Index) Unpin(key uint64) {
 		return
 	}
 	// Shed any transient overflow ApplyCommit took on while this entry was
-	// pinned at a full cache.
+	// pinned at a full cache — head values and retained hist versions alike
+	// (evicting an entry frees its whole version history).
 	for x.cached > x.capacity && x.evict() {
 	}
 }
@@ -515,10 +626,23 @@ func (x *Index) CheckInvariants() error {
 		if o.Key != k {
 			return fmt.Errorf("entry %d has key %d", k, o.Key)
 		}
+		if len(o.Hist) > 0 && !o.HasValue {
+			return fmt.Errorf("key %d has history but no cached head", k)
+		}
+		if x.chainDepth > 0 && len(o.Hist) > x.chainDepth {
+			return fmt.Errorf("key %d hist depth %d exceeds bound %d", k, len(o.Hist), x.chainDepth)
+		}
+		prev := o.TS
+		for i, v := range o.Hist {
+			if v.TS >= prev && prev != 0 {
+				return fmt.Errorf("key %d hist[%d] ts %d not below predecessor %d", k, i, v.TS, prev)
+			}
+			prev = v.TS
+		}
 		if o.HasValue {
-			n++
+			n += 1 + len(o.Hist)
 			if o.Pinned > 0 || o.Locked {
-				held++
+				held += 1 + len(o.Hist)
 			}
 		}
 		if o.Pinned < 0 {

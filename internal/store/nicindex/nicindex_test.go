@@ -420,3 +420,192 @@ func TestFillCannotRegressIndexVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// mvIndex is newPair with MVCC version metadata enabled: head timestamps
+// come from tsMap (standing in for the host row header) and depth history
+// entries are retained per cached object.
+func mvIndex(slots, dm, capacity, depth int) (*robinhood.Table, *Index, map[uint64]uint64) {
+	host, idx := newPair(slots, dm, capacity)
+	tsMap := map[uint64]uint64{}
+	idx.SetTSFunc(func(k uint64) uint64 { return tsMap[k] })
+	idx.SetChainDepth(depth)
+	return host, idx, tsMap
+}
+
+// TestFillCannotRegressIndexTimestamp is the multi-version form of the
+// version-regression guard: versions of distinct keys are independent
+// counters, so a delete + blind re-insert on the host can carry an equal
+// version with an older commit timestamp. A DMA fill must not roll the
+// index's head timestamp back, or snapshot reads would judge visibility
+// against the wrong head.
+func TestFillCannotRegressIndexTimestamp(t *testing.T) {
+	host, idx, tsMap := mvIndex(1024, 16, 1, 2)
+	keys := load(t, host, 800, 24)
+	idx.SyncHints()
+
+	// Occupy and pin the only cache slot so fills below stay metadata-only.
+	idx.Lookup(keys[0])
+	idx.ApplyCommit(keys[0], []byte("hold"), 90)
+
+	k := keys[1]
+	tsMap[k] = 30
+	idx.Lookup(k) // full cache: fill records metadata with TS 30
+	o, ok := idx.Meta(k)
+	if !ok || o.HasValue || o.TS != 30 {
+		t.Fatalf("metadata-only fill: %+v ok=%v", o, ok)
+	}
+
+	// The host row is re-read while carrying an older timestamp (equal
+	// version): the recorded head timestamp must not regress.
+	tsMap[k] = 25
+	idx.Lookup(k)
+	if o.TS != 30 {
+		t.Fatalf("stale DMA fill regressed head timestamp to %d, want 30", o.TS)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiVersionReadAbortRead drives read → commit → aborted-writer-unlock
+// → read over a multi-version entry: the abort must leave the head, its
+// timestamp, and the retained history exactly as the reads saw them, at
+// every snapshot.
+func TestMultiVersionReadAbortRead(t *testing.T) {
+	host, idx, tsMap := mvIndex(1024, 16, 256, 2)
+	keys := load(t, host, 800, 25)
+	idx.SyncHints()
+
+	k := keys[3]
+	tsMap[k] = 10
+	r1 := idx.Lookup(k)
+	if !r1.Found {
+		t.Fatalf("setup: %+v", r1)
+	}
+
+	// A committing writer displaces the head into the history.
+	writer := uint64(0x1111)
+	if !idx.TryLock(k, writer) {
+		t.Fatal("lock failed")
+	}
+	idx.ApplyCommitTS(k, []byte("c1"), r1.Version+1, 20)
+	idx.Unlock(k, writer)
+	idx.Unpin(k) // host applied
+
+	if v, ver, ok := idx.LookupAt(k, 10); !ok || ver != r1.Version || string(v) != string(r1.Value) {
+		t.Fatalf("snapshot below head: %q v%d ok=%v, want %q v%d", v, ver, ok, r1.Value, r1.Version)
+	}
+	if v, ver, ok := idx.LookupAt(k, 25); !ok || ver != r1.Version+1 || string(v) != "c1" {
+		t.Fatalf("snapshot at head: %q v%d ok=%v", v, ver, ok)
+	}
+
+	// A second writer locks and aborts without installing anything.
+	aborter := uint64(0x2222)
+	if !idx.TryLock(k, aborter) {
+		t.Fatal("lock failed")
+	}
+	idx.Unlock(k, aborter)
+
+	// Both snapshots and the plain read still serve the pre-abort state.
+	if v, ver, ok := idx.LookupAt(k, 10); !ok || ver != r1.Version || string(v) != string(r1.Value) {
+		t.Fatalf("abort disturbed history: %q v%d ok=%v", v, ver, ok)
+	}
+	if v, ver, ok := idx.LookupAt(k, 25); !ok || ver != r1.Version+1 || string(v) != "c1" {
+		t.Fatalf("abort disturbed head: %q v%d ok=%v", v, ver, ok)
+	}
+	r2 := idx.Lookup(k)
+	if !r2.CacheHit || r2.Version != r1.Version+1 || string(r2.Value) != "c1" {
+		t.Fatalf("abort leaked state: %+v", r2)
+	}
+	if _, _, ok := idx.LookupAt(k, 5); ok {
+		t.Fatal("snapshot below the retained chain served from cache")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiVersionFullCache: retained history versions count against the
+// cache capacity, commits at a full cache may run transiently over it while
+// pinned, and Unpin sheds the overflow — history values included.
+func TestMultiVersionFullCache(t *testing.T) {
+	host, idx, tsMap := mvIndex(1024, 16, 2, 2)
+	keys := load(t, host, 800, 26)
+	idx.SyncHints()
+
+	k0, k1 := keys[0], keys[1]
+	tsMap[k0], tsMap[k1] = 5, 6
+	r0, r1 := idx.Lookup(k0), idx.Lookup(k1)
+	if idx.CachedValues() != 2 {
+		t.Fatalf("cache not full: %d", idx.CachedValues())
+	}
+
+	// Lock both entries up front (one cross-key transaction), so neither is
+	// evictable while the commits' history pushes overflow the cache.
+	w := uint64(0x3333)
+	idx.TryLock(k0, w)
+	idx.TryLock(k1, w)
+	idx.ApplyCommitTS(k0, []byte("a1"), r0.Version+1, 20)
+	idx.ApplyCommitTS(k1, []byte("b1"), r1.Version+1, 20)
+	idx.Unlock(k0, w)
+	idx.Unlock(k1, w)
+	if idx.CachedValues() != 4 {
+		t.Fatalf("history not counted: cached=%d, want 4 (2 heads + 2 hist)", idx.CachedValues())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both old and new versions stay cache-resident while pinned.
+	if _, ver, ok := idx.LookupAt(k0, 10); !ok || ver != r0.Version {
+		t.Fatalf("pinned history miss: v%d ok=%v", ver, ok)
+	}
+	if _, ver, ok := idx.LookupAt(k0, 20); !ok || ver != r0.Version+1 {
+		t.Fatalf("pinned head miss: v%d ok=%v", ver, ok)
+	}
+
+	// Host applies the log: Unpin must shed the overflow back to capacity,
+	// evicting whole entries with their histories.
+	idx.Unpin(k0)
+	idx.Unpin(k1)
+	if idx.CachedValues() > 2 {
+		t.Fatalf("cache still over capacity after unpin: %d", idx.CachedValues())
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiVersionChainDepthCap: successive commits cap the retained history
+// at the configured depth; reads below the retained window miss to the DMA
+// walk rather than serving a wrong version.
+func TestMultiVersionChainDepthCap(t *testing.T) {
+	host, idx, tsMap := mvIndex(1024, 16, 256, 2)
+	keys := load(t, host, 800, 27)
+	idx.SyncHints()
+
+	k := keys[4]
+	tsMap[k] = 10
+	r := idx.Lookup(k)
+	w := uint64(0x4444)
+	for i := uint64(1); i <= 3; i++ {
+		idx.TryLock(k, w)
+		idx.ApplyCommitTS(k, []byte{byte(i)}, r.Version+i, 10+10*i)
+		idx.Unlock(k, w)
+		idx.Unpin(k)
+	}
+	o, _ := idx.Meta(k)
+	if len(o.Hist) != 2 {
+		t.Fatalf("hist depth %d, want 2", len(o.Hist))
+	}
+	// Oldest retained is the cts-20 version; anything below misses.
+	if _, ver, ok := idx.LookupAt(k, 25); !ok || ver != r.Version+1 {
+		t.Fatalf("oldest retained: v%d ok=%v, want v%d", ver, ok, r.Version+1)
+	}
+	if _, _, ok := idx.LookupAt(k, 15); ok {
+		t.Fatal("read below the retained window served from cache")
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,15 @@ type Result struct {
 	AbortVersion int64
 	AbortMissing int64
 	AbortView    int64
+	// Read-only breakdown, populated only when the system runs with MVCC
+	// snapshot reads enabled (all-zero otherwise, so String() and recorded
+	// fingerprints are unchanged for MVCC-off runs).
+	ROCommitted   int64
+	ROAborts      int64
+	AbortSnapshot int64
+	ROMedian      sim.Time
+	ROP99         sim.Time
+	SnapCommitted int64 // read-only txns served by the snapshot path
 }
 
 func (r Result) String() string {
@@ -34,5 +43,11 @@ func (r Result) String() string {
 		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
 			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
 	}
-	return s + fmt.Sprintf(" failed=%d", r.Failed)
+	s += fmt.Sprintf(" failed=%d", r.Failed)
+	if r.ROCommitted > 0 || r.SnapCommitted > 0 {
+		s += fmt.Sprintf(" ro=%d(snap=%d ab=%d snapab=%d p50=%v p99=%v)",
+			r.ROCommitted, r.SnapCommitted, r.ROAborts, r.AbortSnapshot,
+			r.ROMedian, r.ROP99)
+	}
+	return s
 }

@@ -47,6 +47,10 @@ const (
 	TStatePull    // rejoiner -> primary: request the next snapshot chunk
 	TStateChunk   // primary -> rejoiner: sorted key range of the shard
 	TStateForward // primary -> rejoiner: a commit applied during catch-up
+	// MVCC snapshot reads (read-only fast path): lock-free, validation-free
+	// version-chain lookups at a snapshot timestamp.
+	TSnapshotRead // coordinator NIC -> primary NIC: read keys visible at TS
+	TSnapshotResp //
 )
 
 func (t Type) String() string {
@@ -55,7 +59,7 @@ func (t Type) String() string {
 		"validate-resp", "log", "log-resp", "commit", "commit-resp", "abort",
 		"ship-exec", "ship-result", "log-commit", "recovery-query",
 		"recovery-resp", "recovery-decide", "state-pull", "state-chunk",
-		"state-forward"}
+		"state-forward", "snapshot-read", "snapshot-resp"}
 	if int(t) < len(names) {
 		return names[t]
 	}
@@ -77,8 +81,12 @@ const (
 	// expired while waiting on remote responses (fault-injection runs only):
 	// the coordinator releases its locks and retries instead of stranding.
 	StatusAbortTimeout
+	// StatusAbortSnapshot aborts a snapshot read whose timestamp fell below
+	// a primary's version-chain GC horizon (or raced a promotion); the
+	// coordinator retries at a fresher snapshot. Never contention-induced.
+	StatusAbortSnapshot
 
-	NumStatuses = int(StatusAbortTimeout) + 1
+	NumStatuses = int(StatusAbortSnapshot) + 1
 )
 
 func (s Status) String() string {
@@ -95,6 +103,8 @@ func (s Status) String() string {
 		return "abort-view"
 	case StatusAbortTimeout:
 		return "abort-timeout"
+	case StatusAbortSnapshot:
+		return "abort-snapshot"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -523,17 +533,29 @@ func (m *LogResp) Marshal(b []byte) []byte {
 }
 
 // Commit applies the write set at a primary, bumps versions, and unlocks.
+// CTS is the transaction's commit timestamp under MVCC (0 when MVCC is off);
+// it is a trailing optional field so MVCC-off encodings are unchanged.
 type Commit struct {
 	Header
 	Writes []KV
+	CTS    uint64
 }
 
-func (m *Commit) Type() Type    { return TCommit }
-func (m *Commit) WireSize() int { return hdrSize + kvSize(m.Writes) }
+func (m *Commit) Type() Type { return TCommit }
+func (m *Commit) WireSize() int {
+	n := hdrSize + kvSize(m.Writes)
+	if m.CTS != 0 {
+		n += 8
+	}
+	return n
+}
 func (m *Commit) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TCommit)
 	w.kvs(m.Writes)
+	if m.CTS != 0 {
+		w.u64(m.CTS)
+	}
 	return w.b
 }
 
@@ -633,17 +655,30 @@ func (m *ShipResult) Marshal(b []byte) []byte {
 // making it safe to apply to the backup replica (FaRM applies backup
 // records only once the transaction's outcome is decided; recovery relies
 // on undecided records staying unapplied).
+// CTS carries the commit timestamp under MVCC (0 when off) so the backup
+// can stamp its log record and keep version chains on its replica; it is a
+// trailing optional field so MVCC-off encodings are unchanged.
 type LogCommit struct {
 	Header
 	Shard uint8
+	CTS   uint64
 }
 
-func (m *LogCommit) Type() Type    { return TLogCommit }
-func (m *LogCommit) WireSize() int { return hdrSize + 1 }
+func (m *LogCommit) Type() Type { return TLogCommit }
+func (m *LogCommit) WireSize() int {
+	n := hdrSize + 1
+	if m.CTS != 0 {
+		n += 8
+	}
+	return n
+}
 func (m *LogCommit) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TLogCommit)
 	w.u8(m.Shard)
+	if m.CTS != 0 {
+		w.u64(m.CTS)
+	}
 	return w.b
 }
 
@@ -703,10 +738,20 @@ type RecoveryDecide struct {
 	Header
 	Shard  uint8
 	Commit bool
+	// CTS is the MVCC timestamp a commit decision installs at (the
+	// coordinator's original assignment when it survives, else a fresh
+	// one); 0 (omitted from the frame) under MVCC-off or for aborts.
+	CTS uint64
 }
 
-func (m *RecoveryDecide) Type() Type    { return TRecoveryDecide }
-func (m *RecoveryDecide) WireSize() int { return hdrSize + 2 }
+func (m *RecoveryDecide) Type() Type { return TRecoveryDecide }
+func (m *RecoveryDecide) WireSize() int {
+	n := hdrSize + 2
+	if m.CTS != 0 {
+		n += 8
+	}
+	return n
+}
 func (m *RecoveryDecide) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TRecoveryDecide)
@@ -715,6 +760,9 @@ func (m *RecoveryDecide) Marshal(b []byte) []byte {
 		w.u8(1)
 	} else {
 		w.u8(0)
+	}
+	if m.CTS != 0 {
+		w.u64(m.CTS)
 	}
 	return w.b
 }
@@ -741,17 +789,27 @@ func (m *StatePull) Marshal(b []byte) []byte {
 	return w.b
 }
 
-// StateChunk returns one snapshot chunk; Done marks the last one.
+// StateChunk returns one snapshot chunk; Done marks the last one. Under
+// MVCC, TSs carries each KV's head commit timestamp (parallel to KVs) so a
+// later-promoted rejoiner serves correct snapshot visibility; it is a
+// trailing optional field so MVCC-off encodings are unchanged.
 type StateChunk struct {
 	Header
 	Shard uint8
 	Index uint32
 	Done  bool
 	KVs   []KV
+	TSs   []uint64
 }
 
-func (m *StateChunk) Type() Type    { return TStateChunk }
-func (m *StateChunk) WireSize() int { return hdrSize + 6 + kvSize(m.KVs) }
+func (m *StateChunk) Type() Type { return TStateChunk }
+func (m *StateChunk) WireSize() int {
+	n := hdrSize + 6 + kvSize(m.KVs)
+	if len(m.TSs) > 0 {
+		n += keysSize(m.TSs)
+	}
+	return n
+}
 func (m *StateChunk) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TStateChunk)
@@ -764,6 +822,9 @@ func (m *StateChunk) Marshal(b []byte) []byte {
 		w.u8(0)
 	}
 	w.kvs(m.KVs)
+	if len(m.TSs) > 0 {
+		w.keys(m.TSs)
+	}
 	return w.b
 }
 
@@ -773,15 +834,72 @@ type StateForward struct {
 	Header
 	Shard  uint8
 	Writes []KV
+	// CTS is the forwarded commit's MVCC timestamp; 0 (omitted from the
+	// frame) under MVCC-off.
+	CTS uint64
 }
 
-func (m *StateForward) Type() Type    { return TStateForward }
-func (m *StateForward) WireSize() int { return hdrSize + 1 + kvSize(m.Writes) }
+func (m *StateForward) Type() Type { return TStateForward }
+func (m *StateForward) WireSize() int {
+	n := hdrSize + 1 + kvSize(m.Writes)
+	if m.CTS != 0 {
+		n += 8
+	}
+	return n
+}
 func (m *StateForward) Marshal(b []byte) []byte {
 	w := &writer{b}
 	m.Header.marshal(w, TStateForward)
 	w.u8(m.Shard)
 	w.kvs(m.Writes)
+	if m.CTS != 0 {
+		w.u64(m.CTS)
+	}
+	return w.b
+}
+
+// SnapshotRead asks a primary for the versions of Keys visible at snapshot
+// timestamp TS (the MVCC read-only fast path): no locks are taken and
+// nothing is validated — the primary resolves each key against its NIC
+// index version chain and, on a chain miss, a DMA row-header walk of the
+// host store.
+type SnapshotRead struct {
+	Header
+	Shard uint8
+	TS    uint64
+	Keys  []uint64
+}
+
+func (m *SnapshotRead) Type() Type    { return TSnapshotRead }
+func (m *SnapshotRead) WireSize() int { return hdrSize + 1 + 8 + keysSize(m.Keys) }
+func (m *SnapshotRead) Marshal(b []byte) []byte {
+	w := &writer{b}
+	m.Header.marshal(w, TSnapshotRead)
+	w.u8(m.Shard)
+	w.u64(m.TS)
+	w.keys(m.Keys)
+	return w.b
+}
+
+// SnapshotResp returns the version of every requested key visible at the
+// snapshot timestamp (Version 0 = key absent at TS). StatusAbortSnapshot
+// means at least one key's chain was GC'd past TS and the coordinator must
+// retry at a fresher snapshot.
+type SnapshotResp struct {
+	Header
+	Shard  uint8
+	Status Status
+	Items  []KV
+}
+
+func (m *SnapshotResp) Type() Type    { return TSnapshotResp }
+func (m *SnapshotResp) WireSize() int { return hdrSize + 2 + kvSize(m.Items) }
+func (m *SnapshotResp) Marshal(b []byte) []byte {
+	w := &writer{b}
+	m.Header.marshal(w, TSnapshotResp)
+	w.u8(m.Shard)
+	w.u8(uint8(m.Status))
+	w.kvs(m.Items)
 	return w.b
 }
 
@@ -818,7 +936,11 @@ func Unmarshal(b []byte) (Msg, error) {
 	case TLogResp:
 		m = &LogResp{Header: h, Status: Status(r.u8())}
 	case TCommit:
-		m = &Commit{Header: h, Writes: r.kvs()}
+		c := &Commit{Header: h, Writes: r.kvs()}
+		if r.err == nil && r.off < len(b) {
+			c.CTS = r.u64()
+		}
+		m = c
 	case TCommitResp:
 		m = &CommitResp{Header: h, Status: Status(r.u8())}
 	case TAbort:
@@ -831,22 +953,42 @@ func Unmarshal(b []byte) (Msg, error) {
 		m = &ShipResult{Header: h, Status: Status(r.u8()), NumLogs: r.u8(),
 			ReadSet: r.kvs(), Writes: r.kvs()}
 	case TLogCommit:
-		m = &LogCommit{Header: h, Shard: r.u8()}
+		lc := &LogCommit{Header: h, Shard: r.u8()}
+		if r.err == nil && r.off < len(b) {
+			lc.CTS = r.u64()
+		}
+		m = lc
 	case TRecoveryQuery:
 		m = &RecoveryQuery{Header: h, Shard: r.u8(), Round: r.u8()}
 	case TRecoveryResp:
 		m = &RecoveryResp{Header: h, Shard: r.u8(), Round: r.u8(), Has: r.u8() != 0, Writes: r.kvs()}
 	case TRecoveryDecide:
-		m = &RecoveryDecide{Header: h, Shard: r.u8(), Commit: r.u8() != 0}
+		rd := &RecoveryDecide{Header: h, Shard: r.u8(), Commit: r.u8() != 0}
+		if r.err == nil && r.off < len(b) {
+			rd.CTS = r.u64()
+		}
+		m = rd
 	case TStatePull:
 		m = &StatePull{Header: h, Shard: r.u8(),
 			Index: uint32(r.u16())<<16 | uint32(r.u16())}
 	case TStateChunk:
-		m = &StateChunk{Header: h, Shard: r.u8(),
+		sc := &StateChunk{Header: h, Shard: r.u8(),
 			Index: uint32(r.u16())<<16 | uint32(r.u16()),
 			Done:  r.u8() != 0, KVs: r.kvs()}
+		if r.err == nil && r.off < len(b) {
+			sc.TSs = r.keys()
+		}
+		m = sc
 	case TStateForward:
-		m = &StateForward{Header: h, Shard: r.u8(), Writes: r.kvs()}
+		sf := &StateForward{Header: h, Shard: r.u8(), Writes: r.kvs()}
+		if r.err == nil && r.off < len(b) {
+			sf.CTS = r.u64()
+		}
+		m = sf
+	case TSnapshotRead:
+		m = &SnapshotRead{Header: h, Shard: r.u8(), TS: r.u64(), Keys: r.keys()}
+	case TSnapshotResp:
+		m = &SnapshotResp{Header: h, Shard: r.u8(), Status: Status(r.u8()), Items: r.kvs()}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}

@@ -36,6 +36,12 @@ type Gen struct {
 	CacheObjects int
 	// NICExec annotates transactions for NIC execution.
 	NICExec bool
+	// ReadOnlyFrac overrides the get-timeline (read-only) share of the mix
+	// (0 = the paper's 0.5; negative = no read-only transactions at all,
+	// for update-path overhead benchmarks). The write transaction types
+	// keep their relative proportions within the remainder. Read-heavy
+	// MVCC sweeps push this to 0.8+.
+	ReadOnlyFrac float64
 
 	nodes int
 	total int
@@ -138,13 +144,22 @@ func (g *Gen) Next(node, thread int, rng *rand.Rand) *txnmodel.TxnDesc {
 		}
 		return out
 	}
+	ro := g.ReadOnlyFrac
+	if ro == 0 {
+		ro = 0.5
+	} else if ro < 0 {
+		ro = 0
+	}
+	// Write types keep their paper proportions (add-user 10%, follow 30%,
+	// post-tweet 60% of the write share) under any read-only fraction.
+	wr := 1 - ro
 	var nRead, nUpd int
 	switch p := rng.Float64(); {
-	case p < 0.5: // get-timeline: 1-10 reads
+	case p < ro: // get-timeline: 1-10 reads
 		nRead, nUpd = 1+rng.Intn(10), 0
-	case p < 0.55: // add-user: 1 read, 3 writes
+	case p < ro+0.1*wr: // add-user: 1 read, 3 writes
 		nRead, nUpd = 1, 3
-	case p < 0.70: // follow: 2 reads, 2 writes
+	case p < ro+0.4*wr: // follow: 2 reads, 2 writes
 		nRead, nUpd = 2, 2
 	default: // post-tweet: 3 reads, 5 writes
 		nRead, nUpd = 3, 5

@@ -40,6 +40,12 @@ type Gen struct {
 	HotProb float64
 	// NICExec annotates transactions for NIC execution (on for Xenic).
 	NICExec bool
+	// ReadOnlyFrac overrides the Balance (read-only) share of the mix
+	// (0 = the paper's 0.15; negative = no read-only transactions at all,
+	// for update-path overhead benchmarks). The four update types keep
+	// their relative proportions within the remainder. Read-heavy MVCC
+	// sweeps push this to 0.8+.
+	ReadOnlyFrac float64
 
 	nodes int
 	total int
@@ -176,18 +182,26 @@ func amountState(rng *rand.Rand) []byte {
 func (g *Gen) Next(node, thread int, rng *rand.Rand) *txnmodel.TxnDesc {
 	d := &txnmodel.TxnDesc{NICExec: g.NICExec, GenCost: 120 * sim.Nanosecond}
 	a := g.account(rng)
+	ro := g.ReadOnlyFrac
+	if ro == 0 {
+		ro = 0.15
+	} else if ro < 0 {
+		ro = 0
+	}
+	// The four update types split the remainder evenly, as in the paper mix.
+	wr := (1 - ro) / 4
 	switch p := rng.Float64(); {
-	case p < 0.15: // Balance: read-only
+	case p < ro: // Balance: read-only
 		d.ReadKeys = []uint64{keyOf(tSavings, a), keyOf(tChecking, a)}
-	case p < 0.3625: // DepositChecking
+	case p < ro+wr: // DepositChecking
 		d.UpdateKeys = []uint64{keyOf(tChecking, a)}
 		d.FnID = fnDepositChecking
 		d.State = amountState(rng)
-	case p < 0.575: // TransactSavings
+	case p < ro+2*wr: // TransactSavings
 		d.UpdateKeys = []uint64{keyOf(tSavings, a)}
 		d.FnID = fnTransactSavings
 		d.State = amountState(rng)
-	case p < 0.7875: // Amalgamate: two customers, three updates
+	case p < ro+3*wr: // Amalgamate: two customers, three updates
 		b := g.account(rng)
 		for b == a {
 			b = g.account(rng)
