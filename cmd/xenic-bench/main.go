@@ -22,22 +22,22 @@ import (
 	"sort"
 	"time"
 
+	"xenic/internal/cliflags"
 	"xenic/internal/harness"
 	"xenic/internal/harness/wallbench"
-	"xenic/internal/sim"
 	"xenic/internal/telemetry"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced populations and windows (seconds instead of minutes)")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "experiment cells run concurrently (1 = serial; results are identical at any -j)")
 	list := flag.Bool("list", false, "list experiments and exit")
-	statsOut := flag.String("stats", "", "write per-run stats-registry snapshots to this JSON file")
+	statsOut := cliflags.Stats(flag.CommandLine, "write per-run stats-registry snapshots to this JSON file")
 	jsonOut := flag.String("json", "", "write machine-readable reports (typed cells) to this JSON file")
 	statsJSONOut := flag.String("stats-json", "", "write one machine-readable document (reports + stats snapshots + bottleneck verdicts) to this JSON file")
-	telemetryOut := flag.String("telemetry", "", "collect time-resolved telemetry; write PREFIX-<id>.csv/.json per experiment and a PREFIX.html dashboard")
-	telIntervalUs := flag.Int("telemetry-interval-us", 100, "telemetry sampling interval in simulated microseconds")
+	tel := cliflags.AddTelemetry(flag.CommandLine, "collect time-resolved telemetry; write PREFIX-<id>.csv/.json per experiment and a PREFIX.html dashboard")
+	ol := cliflags.AddOpenLoop(flag.CommandLine)
 	wallOut := flag.String("wallbench", "", "time the harness itself (wall seconds, cells/sec, peak RSS, engine allocs/op) and write the result to this JSON file")
 	wallTel := flag.Bool("wallbench-telemetry", false, "with -wallbench: run every experiment with a telemetry collector attached (times the sampling overhead; series are discarded)")
 	baselinePath := flag.String("baseline", "", "with -wallbench: compare against this committed baseline, exit nonzero if cells/sec regresses beyond -baseline-frac or a hot path allocates")
@@ -70,15 +70,13 @@ func main() {
 	} else {
 		ids = args
 	}
-	telInterval := sim.Time(*telIntervalUs) * sim.Microsecond
-
 	if *wallOut != "" {
 		if len(ids) == 0 {
 			ids = wallbench.DefaultSweep()
 		}
 		wopt := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 		if *wallTel {
-			wopt.Telemetry = harness.NewTelemetryCollector(telInterval)
+			wopt.Telemetry = harness.NewTelemetryCollector(tel.Interval())
 		}
 		res, err := wallbench.Run(wopt, ids)
 		if err != nil {
@@ -105,7 +103,11 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	opt := harness.Options{Quick: *quick, Seed: *seed, Workers: *workers,
+		// The open-loop flags parameterize the slo experiment (-arrival,
+		// -admit, -sessions, -slo-us); other experiments ignore them.
+		SLO: &harness.SLOTuning{Arrival: ol.Arrival, Admit: ol.Admit,
+			Sessions: ol.Sessions, SLOUs: ol.SLOUs}}
 	collectStats := *statsOut != "" || *statsJSONOut != ""
 	allStats := map[string]any{}
 	var reports []*harness.Report
@@ -124,8 +126,8 @@ func main() {
 			o.Stats = harness.NewStatsCollector()
 		}
 		var telc *harness.TelemetryCollector
-		if *telemetryOut != "" {
-			telc = harness.NewTelemetryCollector(telInterval)
+		if tel.Enabled() {
+			telc = harness.NewTelemetryCollector(tel.Interval())
 			o.Telemetry = telc
 		}
 		start := time.Now()
@@ -138,7 +140,7 @@ func main() {
 		r.Print(os.Stdout)
 		reports = append(reports, r)
 		if telc != nil {
-			writeTelemetry(*telemetryOut, e.ID, telc)
+			writeTelemetry(tel.Out, e.ID, telc)
 			verdicts := telc.Verdicts()
 			for label, set := range telc.Sets {
 				allSets[e.ID+"/"+label] = set
@@ -156,8 +158,8 @@ func main() {
 	if *statsJSONOut != "" {
 		writeJSON(*statsJSONOut, statsDoc(*quick, *seed, reports))
 	}
-	if *telemetryOut != "" && len(allSets) > 0 {
-		path := *telemetryOut + ".html"
+	if tel.Enabled() && len(allSets) > 0 {
+		path := tel.Out + ".html"
 		f, err := os.Create(path)
 		must(err)
 		must(telemetry.WriteHTML(f, "xenic-bench telemetry", allSets, allVerdicts))

@@ -12,6 +12,16 @@
 // of simulated time and writes PREFIX.csv, PREFIX.json, and a PREFIX.html
 // dashboard, printing the bottleneck analyzer's verdict to stdout.
 //
+// With -openloop RATE the run is driven open-loop instead of closed-loop:
+// transactions arrive at RATE txns/sec cluster-wide following the -arrival
+// process (poisson or pareto), issued by -sessions client sessions
+// (optionally churning with -session-life-us, split over -tenants streams),
+// gated by the -admit admission policy. The run reports offered vs.
+// admitted vs. completed rates and client-observed latency, and with
+// -slo-us prints whether p99 met the SLO, e.g.
+//
+//	xenic-sim -openloop 2e6 -admit queue:64 -slo-us 100 -ms 10
+//
 // With -faults the run injects a deterministic fault plan, e.g.
 //
 //	xenic-sim -faults drop=0.01,dup=0.005,crash=2@4ms -ms 10
@@ -37,6 +47,7 @@ import (
 	"strings"
 
 	"xenic"
+	"xenic/internal/cliflags"
 	"xenic/internal/telemetry"
 	"xenic/internal/txnmodel"
 )
@@ -53,23 +64,19 @@ func main() {
 	warmMS := flag.Int("warm-ms", 3, "simulated warmup [ms]")
 	ms := flag.Int("ms", 10, "simulated measurement window [ms]")
 	scale := flag.Float64("scale", 0.1, "population scale vs the paper's sizing")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := cliflags.Seed(flag.CommandLine)
 	oneLink := flag.Bool("one-link", false, "use one 50Gbps link per server (§5.3)")
-	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the run (xenic only)")
-	statsOut := flag.String("stats", "", "write a stats-registry JSON snapshot of the run")
-	faults := flag.String("faults", "", "fault plan, e.g. drop=0.01,dup=0.005,crash=2@4ms,part=1:2@2ms+1ms")
-	telemetryOut := flag.String("telemetry", "", "sample time-resolved telemetry; write PREFIX.csv, PREFIX.json, PREFIX.html and print the bottleneck verdict")
-	telIntervalUs := flag.Int("telemetry-interval-us", 100, "telemetry sampling interval in simulated microseconds")
-	checkRun := flag.Bool("check", false, "record the transaction history and check serializability + state audits after the run")
-	mvcc := flag.Bool("mvcc", false, "enable MVCC snapshot reads: read-only transactions run lock- and validation-free at a consistent timestamp (xenic only)")
-	mvccKeep := flag.Int("mvcc-keep", 0, "retained versions per key chain (0 = default 8; with -mvcc)")
+	statsOut := cliflags.Stats(flag.CommandLine, "write a stats-registry JSON snapshot of the run")
+	obs := cliflags.AddSimObserve(flag.CommandLine)
+	tel := cliflags.AddTelemetry(flag.CommandLine, "sample time-resolved telemetry; write PREFIX.csv, PREFIX.json, PREFIX.html and print the bottleneck verdict")
+	ol := cliflags.AddOpenLoop(flag.CommandLine)
 	roFrac := flag.Float64("ro-frac", 0, "override the read-only transaction fraction (retwis and smallbank; 0 = the paper's mix)")
 	flag.Parse()
 
 	var plan *xenic.FaultPlan
-	if *faults != "" {
+	if obs.Faults != "" {
 		var err error
-		plan, err = xenic.ParseFaultPlan(*faults)
+		plan, err = xenic.ParseFaultPlan(obs.Faults)
 		must(err)
 	}
 
@@ -100,11 +107,33 @@ func main() {
 
 	warm := xenic.Time(*warmMS) * xenic.Millisecond
 	win := xenic.Time(*ms) * xenic.Millisecond
-	telInterval := xenic.Time(*telIntervalUs) * xenic.Microsecond
 
 	var hist *xenic.History
-	if *checkRun {
+	if obs.Check {
 		hist = xenic.NewHistory()
+	}
+
+	// Observers and the load source attach at construction time via Options
+	// (the handles stay local for the export helpers below).
+	var opts []xenic.Option
+	var tr *xenic.Tracer
+	var reg *xenic.StatsRegistry
+	var telS *xenic.Telemetry
+	if *statsOut != "" {
+		reg = xenic.NewStatsRegistry()
+		opts = append(opts, xenic.WithStats(reg))
+	}
+	if hist != nil {
+		opts = append(opts, xenic.WithHistory(hist))
+	}
+	if tel.Enabled() {
+		telS = xenic.NewTelemetry(tel.Interval())
+		opts = append(opts, xenic.WithTelemetry(telS))
+	}
+	src, err := ol.Source(*seed)
+	must(err)
+	if src != nil {
+		opts = append(opts, xenic.WithLoad(src))
 	}
 
 	if strings.EqualFold(*system, "xenic") {
@@ -117,36 +146,23 @@ func main() {
 		cfg.Outstanding = max(1, *window / *app)
 		cfg.Seed = *seed
 		cfg.Faults = plan
-		cfg.MVCC = *mvcc
-		cfg.MVCCKeep = *mvccKeep
+		cfg.MVCC = obs.MVCC
+		cfg.MVCCKeep = obs.MVCCKeep
 		if *oneLink {
 			cfg.Params = cfg.Params.OneLink()
 		}
-		cl, err := xenic.NewCluster(cfg, gen)
-		must(err)
-		var tr *xenic.Tracer
-		if *traceOut != "" {
+		if obs.Trace != "" {
 			tr = xenic.NewTracer()
-			cl.SetTracer(tr)
+			opts = append(opts, xenic.WithTracer(tr))
 		}
-		var reg *xenic.StatsRegistry
-		if *statsOut != "" {
-			reg = xenic.NewStatsRegistry()
-			cl.RegisterMetrics(reg)
-		}
-		if hist != nil {
-			cl.SetHistory(hist)
-		}
-		var tel *xenic.Telemetry
-		if *telemetryOut != "" {
-			tel = xenic.NewTelemetry(telInterval)
-			cl.SetTelemetry(tel)
-		}
-		res := cl.Measure(warm, win)
+		cl, err := xenic.NewCluster(cfg, gen, opts...)
+		must(err)
+		res, s0, s1 := measure(cl, warm, win, ol)
 		fmt.Printf("xenic/%s: %s\n", gen.Name(), res)
-		writeTrace(*traceOut, tr)
+		printOpenLoad(ol, win, s0, s1)
+		writeTrace(obs.Trace, tr)
 		writeStats(*statsOut, reg)
-		writeTelemetry(*telemetryOut, "xenic/"+gen.Name(), tel)
+		writeTelemetry(tel.Out, "xenic/"+gen.Name(), telS)
 		checkHistory(cl, hist)
 		return
 	}
@@ -175,32 +191,59 @@ func main() {
 	if *oneLink {
 		cfg.Params = cfg.Params.OneLink()
 	}
-	cl, err := xenic.NewBaseline(cfg, gen)
-	must(err)
-	if *traceOut != "" {
+	if obs.Trace != "" {
 		fmt.Fprintln(os.Stderr, "xenic-sim: -trace is only supported for -system xenic; ignoring")
 	}
-	if *mvcc {
+	if obs.MVCC {
 		fmt.Fprintln(os.Stderr, "xenic-sim: -mvcc is only supported for -system xenic; ignoring")
 	}
-	var reg *xenic.StatsRegistry
-	if *statsOut != "" {
-		reg = xenic.NewStatsRegistry()
-		cl.RegisterMetrics(reg)
-	}
-	if hist != nil {
-		cl.SetHistory(hist)
-	}
-	var tel *xenic.Telemetry
-	if *telemetryOut != "" {
-		tel = xenic.NewTelemetry(telInterval)
-		cl.SetTelemetry(tel)
-	}
-	res := cl.Measure(warm, win)
+	cl, err := xenic.NewBaseline(cfg, gen, opts...)
+	must(err)
+	res, s0, s1 := measure(cl, warm, win, ol)
 	fmt.Printf("%s/%s: %s\n", sys, gen.Name(), res)
+	printOpenLoad(ol, win, s0, s1)
 	writeStats(*statsOut, reg)
-	writeTelemetry(*telemetryOut, fmt.Sprintf("%s/%s", sys, gen.Name()), tel)
+	writeTelemetry(tel.Out, fmt.Sprintf("%s/%s", sys, gen.Name()), telS)
 	checkHistory(cl, hist)
+}
+
+// measure runs the warmup + window. Closed-loop runs take the plain Measure
+// path (byte-identical to always); open-loop runs snapshot the source's
+// counters around the window so offered/admitted/completed rates cover
+// exactly the measured interval.
+func measure(s xenic.System, warm, win xenic.Time, ol *cliflags.OpenLoop) (xenic.Result, xenic.LoadStats, xenic.LoadStats) {
+	if !ol.Enabled() {
+		return s.Measure(warm, win), xenic.LoadStats{}, xenic.LoadStats{}
+	}
+	s.Start()
+	s.Run(warm)
+	s0 := s.OfferedLoad()
+	res := s.Measure(0, win)
+	s1 := s.OfferedLoad()
+	return res, s0, s1
+}
+
+// printOpenLoad reports the open-loop window: admission-control rates,
+// session pool, client-observed latency, and the -slo-us verdict.
+func printOpenLoad(ol *cliflags.OpenLoop, win xenic.Time, s0, s1 xenic.LoadStats) {
+	if !ol.Enabled() {
+		return
+	}
+	sec := win.Seconds()
+	rate := func(a, b int64) float64 { return float64(b-a) / sec }
+	fmt.Printf("openloop: offered=%.0f/s admitted=%.0f/s rejected=%.0f/s completed=%.0f/s sessions=%d inflight=%d queue=%d\n",
+		rate(s0.Offered, s1.Offered), rate(s0.Admitted, s1.Admitted),
+		rate(s0.Rejected, s1.Rejected), rate(s0.Completed, s1.Completed),
+		s1.ActiveSessions, s1.InFlight, s1.QueueLen)
+	fmt.Printf("openloop: client p50=%v p99=%v queue-delay p99=%v\n",
+		s1.LatencyP50, s1.LatencyP99, s1.QueueDelayP99)
+	if slo := ol.SLO(); slo > 0 {
+		verdict := "met"
+		if s1.LatencyP99 > slo {
+			verdict = "EXCEEDED"
+		}
+		fmt.Printf("openloop: slo p99<=%v: %s (p99=%v)\n", slo, verdict, s1.LatencyP99)
+	}
 }
 
 // checkHistory drains the system, runs the serializability checker over the

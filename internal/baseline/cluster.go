@@ -6,6 +6,7 @@ import (
 	"xenic/internal/check"
 	"xenic/internal/fault"
 	"xenic/internal/hostrt"
+	"xenic/internal/load"
 	"xenic/internal/membership"
 	"xenic/internal/metrics"
 	"xenic/internal/rdma"
@@ -30,6 +31,9 @@ type Cluster struct {
 	tracer *trace.Tracer
 	hist   *check.History // nil unless SetHistory attached one
 	loadOn bool
+
+	loadSrc load.Source // nil: built-in closed loop drives the cluster
+	srcOn   bool        // the attached source has been started
 
 	// mgr is the same lease-based cluster manager Xenic runs; baselines
 	// renew leases and observe epoch-stamped views so harness comparisons
@@ -175,16 +179,93 @@ func (cl *Cluster) Node(i int) *Node { return cl.nodes[i] }
 // Stats returns node i's counters.
 func (n *Node) Stats() *Stats { return &n.stats }
 
-// Start begins closed-loop load generation.
+// Start begins load generation: the attached LoadSource if one was set
+// (xenic.WithLoad), otherwise the built-in closed loop.
 func (cl *Cluster) Start() {
+	if cl.loadSrc != nil {
+		cl.srcOn = true
+		cl.loadSrc.Start()
+		return
+	}
+	cl.StartClosedLoop()
+}
+
+// StopLoad stops generating new transactions.
+func (cl *Cluster) StopLoad() {
+	if cl.loadSrc != nil {
+		cl.srcOn = false
+		cl.loadSrc.Stop()
+		return
+	}
+	cl.StopClosedLoop()
+}
+
+// SetLoad attaches a load source, replacing the built-in closed loop as
+// what Start/StopLoad control. Call before any load has been started.
+func (cl *Cluster) SetLoad(src load.Source) error {
+	if src == nil {
+		return fmt.Errorf("baseline: SetLoad: nil source")
+	}
+	if cl.loadSrc != nil {
+		return fmt.Errorf("baseline: SetLoad: a load source is already attached")
+	}
+	if err := src.Attach(cl); err != nil {
+		return err
+	}
+	cl.loadSrc = src
+	return nil
+}
+
+// OfferedLoad snapshots the attached load source's admission and session
+// counters; all-zero when the built-in closed loop is driving.
+func (cl *Cluster) OfferedLoad() load.Stats {
+	if cl.loadSrc == nil {
+		return load.Stats{}
+	}
+	return cl.loadSrc.Stats()
+}
+
+// loadRunning reports whether some load generator has been started and not
+// stopped since.
+func (cl *Cluster) loadRunning() bool {
+	if cl.loadSrc != nil {
+		return cl.srcOn
+	}
+	return cl.loadOn
+}
+
+// StartClosedLoop begins closed-loop generation on every thread (the
+// load.Driver surface; Start delegates here when no source is set).
+func (cl *Cluster) StartClosedLoop() {
 	cl.loadOn = true
 	for _, n := range cl.nodes {
 		n.host.WakeAll()
 	}
 }
 
-// StopLoad stops generating new transactions.
-func (cl *Cluster) StopLoad() { cl.loadOn = false }
+// StopClosedLoop halts closed-loop generation.
+func (cl *Cluster) StopClosedLoop() { cl.loadOn = false }
+
+// Nodes returns the node count.
+func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
+
+// AppThreadsPerNode reports the coordinator threads per node (every
+// baseline host thread is a coordinator).
+func (cl *Cluster) AppThreadsPerNode() int { return cl.cfg.Threads }
+
+// Workload returns the generator this cluster was built with.
+func (cl *Cluster) Workload() txnmodel.Generator { return cl.gen }
+
+// InjectTxn submits one transaction on the given node's thread at the
+// current instant (the load.Driver surface). done, if non-nil, fires
+// exactly once at the transaction's final outcome. Baselines never crash,
+// so injections cannot be lost.
+func (cl *Cluster) InjectTxn(node, thread int, d *txnmodel.TxnDesc, done func(ok bool)) {
+	n := cl.nodes[node]
+	at := n.app[thread]
+	at.injectq = append(at.injectq, injected{desc: d, done: done})
+	n.host.Thread(thread).Wake()
+}
 
 // Run advances simulated time by d.
 func (cl *Cluster) Run(d sim.Time) { cl.eng.Run(cl.eng.Now() + d) }
@@ -193,7 +274,7 @@ func (cl *Cluster) Run(d sim.Time) { cl.eng.Run(cl.eng.Now() + d) }
 func (cl *Cluster) Quiesced() bool {
 	for _, n := range cl.nodes {
 		for _, at := range n.app {
-			if at.outstanding > 0 || len(at.retryq) > 0 {
+			if at.outstanding > 0 || len(at.retryq) > 0 || len(at.injectq) > 0 {
 				return false
 			}
 		}
@@ -223,7 +304,10 @@ type Result = txnmodel.Result
 
 // Measure runs warmup, resets statistics, runs the window, aggregates.
 func (cl *Cluster) Measure(warmup, window sim.Time) Result {
-	if !cl.loadOn {
+	// Whatever generator is attached — closed loop or a LoadSource — is the
+	// one started here; Measure never falls back to the closed loop when an
+	// open-loop source is driving.
+	if !cl.loadRunning() {
 		cl.Start()
 	}
 	cl.Run(warmup)

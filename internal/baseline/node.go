@@ -34,6 +34,14 @@ type appThread struct {
 	inflight    map[uint64]*btxn
 	outstanding int
 	retryq      []*btxn
+	injectq     []injected // open-loop arrivals awaiting launch
+}
+
+// injected is one open-loop arrival handed to InjectTxn, queued until the
+// owning thread's next idle pass launches it.
+type injected struct {
+	desc *txnmodel.TxnDesc
+	done func(ok bool)
 }
 
 func txnID(node, thread int, seq uint32) uint64 {
@@ -255,6 +263,28 @@ func (n *Node) hostIdle(t *hostrt.Thread) bool {
 		}
 		t.At(earliest-t.Now(), t.Wake)
 	}
+	// Open-loop arrivals queued by InjectTxn. Snapshot first: launching can
+	// synchronously complete, and the completion callback can inject again.
+	if len(at.injectq) > 0 {
+		inj := at.injectq
+		at.injectq = nil
+		for _, in := range inj {
+			did = true
+			tx := &btxn{
+				id:    txnID(n.id, at.id, at.nextSeq()),
+				desc:  in.desc,
+				start: t.Now(),
+				node:  n,
+				done:  in.done,
+			}
+			at.inflight[tx.id] = tx
+			at.outstanding++
+			if in.desc.GenCost > 0 {
+				t.Charge(in.desc.GenCost)
+			}
+			n.launch(t, at, tx)
+		}
+	}
 	if !n.cl.loadOn {
 		return did
 	}
@@ -324,6 +354,9 @@ func (n *Node) completeTxn(t *hostrt.Thread, tx *btxn, st wire.Status) {
 		}
 	} else {
 		n.stats.Failed++
+	}
+	if tx.done != nil {
+		tx.done(st == wire.StatusOK)
 	}
 }
 

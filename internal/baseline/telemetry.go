@@ -45,6 +45,22 @@ func (cl *Cluster) SetTelemetry(s *telemetry.Sampler) {
 		sub.Gauge("net.egress_backlog_us", func() float64 { return cl.nw.EgressBacklog(n.id).Micros() })
 	}
 
+	// Open-loop front-end series, only when a source is attached: the scope
+	// is absent on closed-loop runs, keeping their telemetry exports
+	// byte-identical to pre-LoadSource output.
+	if cl.loadSrc != nil {
+		src := cl.loadSrc
+		ls := s.Sub("load")
+		ls.Rate("offered_rate", func() int64 { return src.Stats().Offered })
+		ls.Rate("admitted_rate", func() int64 { return src.Stats().Admitted })
+		ls.Rate("completed_rate", func() int64 { return src.Stats().Completed })
+		ls.Rate("rejected_rate", func() int64 { return src.Stats().Rejected })
+		ls.Gauge("sessions", func() float64 { return float64(src.Stats().ActiveSessions) })
+		ls.Gauge("inflight", func() float64 { return float64(src.Stats().InFlight) })
+		ls.Gauge("queue_len", func() float64 { return float64(src.Stats().QueueLen) })
+		ls.Gauge("queue_delay_p99_us", func() float64 { return src.Stats().QueueDelayP99.Micros() })
+	}
+
 	cs := s.Sub("cluster")
 	cs.Rate("commit_rate", func() int64 {
 		var v int64

@@ -17,6 +17,7 @@ type btxn struct {
 	start     sim.Time
 	retries   int
 	notBefore sim.Time
+	done      func(ok bool) // open-loop completion callback; nil when closed-loop
 
 	phase     bphase
 	reads     map[uint64]wire.KV

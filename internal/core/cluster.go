@@ -6,6 +6,7 @@ import (
 	"xenic/internal/check"
 	"xenic/internal/fault"
 	"xenic/internal/hostrt"
+	"xenic/internal/load"
 	"xenic/internal/membership"
 	"xenic/internal/metrics"
 	"xenic/internal/nicrt"
@@ -31,6 +32,9 @@ type Cluster struct {
 	reg    *txnmodel.Registry
 	spec   txnmodel.StoreSpec
 	loadOn bool
+
+	loadSrc load.Source // nil: built-in closed loop drives the cluster
+	srcOn   bool        // the attached source has been started
 
 	mgr  *membership.Manager
 	view membership.View
@@ -251,9 +255,11 @@ func (cl *Cluster) Restart(id int) {
 	n.pendingDecide = map[txnShard][]uint64{}
 	n.fwd = nil
 	for _, at := range n.app {
+		at.failInjected()
 		at.inflight = map[uint64]*appTxn{}
 		at.outstanding = 0
 		at.retryq = nil
+		at.injectq = nil
 	}
 	n.nic.Reset()
 	cl.fwdInFlight[id] = 0
@@ -298,16 +304,99 @@ func (cl *Cluster) Nodes() int { return cl.cfg.Nodes }
 // Config returns the cluster configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
-// Start begins closed-loop load generation on every application thread.
+// Start begins load generation: the attached LoadSource if one was set
+// (xenic.WithLoad), otherwise the built-in closed loop on every application
+// thread.
 func (cl *Cluster) Start() {
+	if cl.loadSrc != nil {
+		cl.srcOn = true
+		cl.loadSrc.Start()
+		return
+	}
+	cl.StartClosedLoop()
+}
+
+// StopLoad stops generating new transactions; in-flight ones drain.
+func (cl *Cluster) StopLoad() {
+	if cl.loadSrc != nil {
+		cl.srcOn = false
+		cl.loadSrc.Stop()
+		return
+	}
+	cl.StopClosedLoop()
+}
+
+// SetLoad attaches a load source, replacing the built-in closed loop as
+// what Start/StopLoad control. Attach errors (bad source configuration)
+// surface here. Call before any load has been started.
+func (cl *Cluster) SetLoad(src load.Source) error {
+	if src == nil {
+		return fmt.Errorf("core: SetLoad: nil source")
+	}
+	if cl.loadSrc != nil {
+		return fmt.Errorf("core: SetLoad: a load source is already attached")
+	}
+	if err := src.Attach(cl); err != nil {
+		return err
+	}
+	cl.loadSrc = src
+	return nil
+}
+
+// OfferedLoad snapshots the attached load source's admission and session
+// counters; all-zero when the built-in closed loop is driving.
+func (cl *Cluster) OfferedLoad() load.Stats {
+	if cl.loadSrc == nil {
+		return load.Stats{}
+	}
+	return cl.loadSrc.Stats()
+}
+
+// loadRunning reports whether some load generator has been started and not
+// stopped since.
+func (cl *Cluster) loadRunning() bool {
+	if cl.loadSrc != nil {
+		return cl.srcOn
+	}
+	return cl.loadOn
+}
+
+// StartClosedLoop begins closed-loop generation on every application thread
+// (the load.Driver surface; Start delegates here when no source is set).
+func (cl *Cluster) StartClosedLoop() {
 	cl.loadOn = true
 	for _, n := range cl.nodes {
 		n.host.WakeAll()
 	}
 }
 
-// StopLoad stops generating new transactions; in-flight ones drain.
-func (cl *Cluster) StopLoad() { cl.loadOn = false }
+// StopClosedLoop halts closed-loop generation.
+func (cl *Cluster) StopClosedLoop() { cl.loadOn = false }
+
+// AppThreadsPerNode reports the coordinator application threads per node
+// (the load.Driver injection grid).
+func (cl *Cluster) AppThreadsPerNode() int { return cl.cfg.AppThreads }
+
+// Workload returns the generator this cluster was built with.
+func (cl *Cluster) Workload() txnmodel.Generator { return cl.gen }
+
+// InjectTxn submits one transaction on the given node's application thread
+// at the current instant (the load.Driver surface). done, if non-nil, fires
+// exactly once at the transaction's final outcome. Injecting into a crashed
+// node fails immediately; a crash after injection fails the in-flight
+// transactions when the node restarts.
+func (cl *Cluster) InjectTxn(node, thread int, d *txnmodel.TxnDesc, done func(ok bool)) {
+	n := cl.nodes[node]
+	if !n.alive {
+		if done != nil {
+			done(false)
+		}
+		return
+	}
+	at := n.app[thread]
+	at.injectq = append(at.injectq, injected{desc: d, done: done})
+	n.host.Thread(thread).Wake()
+}
 
 // Run advances simulated time by d.
 func (cl *Cluster) Run(d sim.Time) { cl.eng.Run(cl.eng.Now() + d) }
@@ -319,7 +408,10 @@ type Result = txnmodel.Result
 // Measure runs warmup, resets statistics, runs the measurement window, and
 // aggregates cluster-wide results.
 func (cl *Cluster) Measure(warmup, window sim.Time) Result {
-	if !cl.loadOn {
+	// Whatever generator is attached — closed loop or a LoadSource — is the
+	// one started here; Measure never falls back to the closed loop when an
+	// open-loop source is driving (pinned by TestMeasureStartsAttachedSource).
+	if !cl.loadRunning() {
 		cl.Start()
 	}
 	cl.Run(warmup)
@@ -381,7 +473,7 @@ func (cl *Cluster) Quiesced() bool {
 			continue
 		}
 		for _, at := range n.app {
-			if at.outstanding > 0 || len(at.retryq) > 0 {
+			if at.outstanding > 0 || len(at.retryq) > 0 || len(at.injectq) > 0 {
 				return false
 			}
 		}

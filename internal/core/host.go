@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"xenic/internal/hostrt"
 	"xenic/internal/sim"
@@ -23,6 +24,7 @@ type appThread struct {
 	inflight    map[uint64]*appTxn
 	outstanding int
 	retryq      []*appTxn
+	injectq     []injected // open-loop arrivals awaiting launch
 }
 
 // appTxn tracks one application transaction across retries.
@@ -32,6 +34,37 @@ type appTxn struct {
 	start     sim.Time
 	retries   int
 	notBefore sim.Time
+	done      func(ok bool) // open-loop completion callback; nil when closed-loop
+}
+
+// injected is one open-loop arrival handed to InjectTxn, queued until the
+// owning application thread's next idle pass launches it.
+type injected struct {
+	desc *txnmodel.TxnDesc
+	done func(ok bool)
+}
+
+// failInjected fires done(false) for every injected transaction this thread
+// still holds — in-flight first (in txn-id order, so the callback sequence
+// is deterministic despite map iteration), then the un-launched queue. Used
+// by Restart: a coordinator crash loses this state, and open-loop sources
+// must see the in-flight slots released.
+func (at *appThread) failInjected() {
+	ids := make([]uint64, 0, len(at.inflight))
+	for id, tx := range at.inflight {
+		if tx.done != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		at.inflight[id].done(false)
+	}
+	for _, in := range at.injectq {
+		if in.done != nil {
+			in.done(false)
+		}
+	}
 }
 
 // workerBatch bounds log records applied per worker iteration.
@@ -91,6 +124,27 @@ func (n *Node) appIdle(t *hostrt.Thread, at *appThread) bool {
 		// the post-submission queue so retries re-appended by synchronous
 		// aborts keep their wake-up too.
 		t.At(earliest-t.Now(), t.Wake)
+	}
+	// Open-loop arrivals queued by InjectTxn. Snapshot first: submitting can
+	// synchronously complete, and the completion callback can inject again.
+	if len(at.injectq) > 0 {
+		inj := at.injectq
+		at.injectq = nil
+		for _, in := range inj {
+			did = true
+			tx := &appTxn{
+				id:    txnID(n.id, at.id, at.nextSeq()),
+				desc:  in.desc,
+				start: t.Now(),
+				done:  in.done,
+			}
+			at.inflight[tx.id] = tx
+			at.outstanding++
+			if in.desc.GenCost > 0 {
+				t.Charge(in.desc.GenCost)
+			}
+			n.submit(t, at, tx)
+		}
 	}
 	if !n.cl.loadOn {
 		return did
@@ -437,6 +491,9 @@ func (n *Node) completeTxn(t *hostrt.Thread, at *appThread, tx *appTxn,
 		n.stats.Failed++
 	}
 	_ = reads
+	if tx.done != nil {
+		tx.done(st == wire.StatusOK)
+	}
 }
 
 // Retry backoff bounds: the window starts at retryBackoffBase and doubles

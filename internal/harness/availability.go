@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"xenic"
 	"xenic/internal/core"
 	"xenic/internal/fault"
 	"xenic/internal/sim"
@@ -90,14 +91,14 @@ func availabilityCell(opt Options, seed int64) availOutcome {
 	cfg.Outstanding = 8
 	cfg.Seed = seed
 	cfg.Faults = plan
-	cl, err := core.New(cfg, g)
+	// The sampler sees the whole crash→restore arc; it is stopped before the
+	// drain so the series end with the measured timeline.
+	tel := opt.Telemetry.Sampler()
+	cl, err := xenic.NewCluster(cfg, g, xenic.WithTelemetry(tel))
 	if err != nil {
 		out.err = err
 		return out
 	}
-	// The sampler sees the whole crash→restore arc; it is stopped before the
-	// drain so the series end with the measured timeline.
-	tel := opt.Telemetry.Attach(cl)
 
 	minRepl := func() int {
 		v := cl.View()

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"xenic"
 	"xenic/internal/core"
 	"xenic/internal/fault"
 	"xenic/internal/sim"
@@ -103,11 +104,11 @@ func chaosRun(seed int64, plan *fault.Plan, runFor sim.Time, telc *TelemetryColl
 	cfg.Outstanding = 8
 	cfg.Seed = seed
 	cfg.Faults = plan
-	cl, err := core.New(cfg, g)
+	tel := telc.Sampler()
+	cl, err := xenic.NewCluster(cfg, g, xenic.WithTelemetry(tel))
 	if err != nil {
 		return 0, 0, 0, false, err
 	}
-	tel := telc.Attach(cl)
 	cl.Start()
 	cl.Run(runFor)
 	telc.Done(label, tel)

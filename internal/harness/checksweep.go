@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"xenic"
 	"xenic/internal/baseline"
 	"xenic/internal/check"
 	"xenic/internal/core"
@@ -159,12 +160,11 @@ func checkXenic(seed int64, plan *fault.Plan, gen txnmodel.Generator, runFor sim
 	// Smallbank Balance) take the lock-free MVCC path, so the checker's SI
 	// visibility pass sweeps alongside the serialization graph.
 	cfg.MVCC = true
-	cl, err := core.New(cfg, gen)
+	h := check.NewHistory()
+	cl, err := xenic.NewCluster(cfg, gen, xenic.WithHistory(h))
 	if err != nil {
 		return 0, err
 	}
-	h := check.NewHistory()
-	cl.SetHistory(h)
 	cl.Start()
 	cl.Run(runFor)
 	if !cl.Drain(100 * sim.Millisecond) {
@@ -184,12 +184,11 @@ func checkBaseline(sys int, seed int64, plan *fault.Plan, gen txnmodel.Generator
 	cfg.Outstanding = 4
 	cfg.Seed = seed
 	cfg.Faults = plan
-	cl, err := baseline.New(cfg, gen)
+	h := check.NewHistory()
+	cl, err := xenic.NewBaseline(cfg, gen, xenic.WithHistory(h))
 	if err != nil {
 		return 0, err
 	}
-	h := check.NewHistory()
-	cl.SetHistory(h)
 	cl.Start()
 	cl.Run(runFor)
 	if !cl.Drain(100 * sim.Millisecond) {

@@ -18,13 +18,15 @@ import (
 // Result is the shared measurement summary every System reports.
 type Result = xenic.Result
 
-// builder constructs a configured System for one offered-load window.
-type builder func(window int) (xenic.System, error)
+// builder constructs a configured System for one offered-load window;
+// observers (telemetry samplers in particular) ride along as
+// construction-time options.
+type builder func(window int, opts ...xenic.Option) (xenic.System, error)
 
 // xenicBuilder returns a builder for the Xenic cluster under setup s.
 // oneLink halves the fabric to a single 50Gbps link (§5.3).
 func xenicBuilder(s workloadSetup, opt Options, oneLink bool) builder {
-	return func(w int) (xenic.System, error) {
+	return func(w int, opts ...xenic.Option) (xenic.System, error) {
 		cfg := core.DefaultConfig()
 		if oneLink {
 			cfg.Params = cfg.Params.OneLink()
@@ -34,17 +36,13 @@ func xenicBuilder(s workloadSetup, opt Options, oneLink bool) builder {
 		cfg.NICCores = s.nic
 		cfg.Outstanding = perThread(w, s.app)
 		cfg.Seed = opt.Seed
-		cl, err := core.New(cfg, s.gen(opt.Quick))
-		if err != nil {
-			return nil, err
-		}
-		return cl, nil
+		return xenic.NewCluster(cfg, s.gen(opt.Quick), opts...)
 	}
 }
 
 // baselineBuilder returns a builder for baseline system sys under setup s.
 func baselineBuilder(sys baseline.System, s workloadSetup, opt Options, oneLink bool) builder {
-	return func(w int) (xenic.System, error) {
+	return func(w int, opts ...xenic.Option) (xenic.System, error) {
 		cfg := baseline.DefaultConfig(sys)
 		if oneLink {
 			cfg.Params = cfg.Params.OneLink()
@@ -52,11 +50,7 @@ func baselineBuilder(sys baseline.System, s workloadSetup, opt Options, oneLink 
 		cfg.Threads = s.threads
 		cfg.Outstanding = perThread(w, s.threads)
 		cfg.Seed = opt.Seed
-		cl, err := baseline.New(cfg, s.gen(opt.Quick))
-		if err != nil {
-			return nil, err
-		}
-		return cl, nil
+		return xenic.NewBaseline(cfg, s.gen(opt.Quick), opts...)
 	}
 }
 
@@ -67,11 +61,11 @@ func runCurve(opt Options, windows []int, warm, win sim.Time,
 	label func(w int) string, build builder) []point {
 	return runCells(opt, len(windows), func(i int, o Options) point {
 		w := windows[i]
-		sys, err := build(w)
+		tel := o.Telemetry.Sampler()
+		sys, err := build(w, xenic.WithTelemetry(tel))
 		if err != nil {
 			panic(err)
 		}
-		tel := o.Telemetry.Attach(sys)
 		res := sys.Measure(warm, win)
 		o.Stats.Snap(label(w), sys.RegisterMetrics)
 		o.Telemetry.Done(label(w), tel)
@@ -111,11 +105,11 @@ func runCurves(s workloadSetup, opt Options, specs []curveSpec, windows []int, w
 	flat := runCells(opt, len(ids), func(i int, o Options) point {
 		id := ids[i]
 		w := windows[id.win]
-		sys, err := specs[id.spec].build(w)
+		tel := o.Telemetry.Sampler()
+		sys, err := specs[id.spec].build(w, xenic.WithTelemetry(tel))
 		if err != nil {
 			panic(err)
 		}
-		tel := o.Telemetry.Attach(sys)
 		res := sys.Measure(warm, win)
 		label := fmt.Sprintf("%s/%s/w%d", s.name, specs[id.spec].stats, w)
 		o.Stats.Snap(label, sys.RegisterMetrics)

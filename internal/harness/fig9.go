@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"xenic"
 	"xenic/internal/baseline"
 	"xenic/internal/core"
 	"xenic/internal/sim"
@@ -58,11 +59,11 @@ func runFig9a(opt Options) *Report {
 			dcfg.Threads = s.threads
 			dcfg.Outstanding = window
 			dcfg.Seed = o.Seed
-			dcl, err := baseline.New(dcfg, s.gen(o.Quick))
+			tel := o.Telemetry.Sampler()
+			dcl, err := xenic.NewBaseline(dcfg, s.gen(o.Quick), xenic.WithTelemetry(tel))
 			if err != nil {
 				panic(err)
 			}
-			tel := o.Telemetry.Attach(dcl)
 			res := dcl.Measure(warm, win)
 			o.Stats.Snap("fig9a/DrTM+H", dcl.RegisterMetrics)
 			o.Telemetry.Done("fig9a/DrTM+H", tel)
@@ -74,11 +75,11 @@ func runFig9a(opt Options) *Report {
 		cfg.Outstanding = window
 		cfg.Features = st.feat
 		cfg.Seed = o.Seed
-		cl, err := core.New(cfg, s.gen(o.Quick))
+		tel := o.Telemetry.Sampler()
+		cl, err := xenic.NewCluster(cfg, s.gen(o.Quick), xenic.WithTelemetry(tel))
 		if err != nil {
 			panic(err)
 		}
-		tel := o.Telemetry.Attach(cl)
 		res := cl.Measure(warm, win)
 		o.Stats.Snap("fig9a/"+st.name, cl.RegisterMetrics)
 		o.Telemetry.Done("fig9a/"+st.name, tel)
@@ -137,11 +138,11 @@ func runFig9b(opt Options) *Report {
 			dcfg.Threads = s.threads
 			dcfg.Outstanding = 1 // low load
 			dcfg.Seed = o.Seed
-			dcl, err := baseline.New(dcfg, s.gen(o.Quick))
+			tel := o.Telemetry.Sampler()
+			dcl, err := xenic.NewBaseline(dcfg, s.gen(o.Quick), xenic.WithTelemetry(tel))
 			if err != nil {
 				panic(err)
 			}
-			tel := o.Telemetry.Attach(dcl)
 			res := dcl.Measure(warm, win)
 			o.Stats.Snap("fig9b/DrTM+H", dcl.RegisterMetrics)
 			o.Telemetry.Done("fig9b/DrTM+H", tel)
@@ -153,11 +154,11 @@ func runFig9b(opt Options) *Report {
 		cfg.Outstanding = 1
 		cfg.Features = st.feat
 		cfg.Seed = o.Seed
-		cl, err := core.New(cfg, s.gen(o.Quick))
+		tel := o.Telemetry.Sampler()
+		cl, err := xenic.NewCluster(cfg, s.gen(o.Quick), xenic.WithTelemetry(tel))
 		if err != nil {
 			panic(err)
 		}
-		tel := o.Telemetry.Attach(cl)
 		res := cl.Measure(warm, win)
 		o.Stats.Snap("fig9b/"+st.name, cl.RegisterMetrics)
 		o.Telemetry.Done("fig9b/"+st.name, tel)

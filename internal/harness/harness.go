@@ -35,6 +35,10 @@ type Options struct {
 	// cell (cmd/xenic-bench -telemetry). Sampling is read-only: reported
 	// numbers are identical with or without a collector attached.
 	Telemetry *TelemetryCollector
+	// SLO overrides the slo experiment's open-loop knobs (arrival process,
+	// admission policy, sessions, p99 bound) from cmd/xenic-bench's flags.
+	// Nil keeps the experiment defaults; other experiments ignore it.
+	SLO *SLOTuning
 }
 
 // StatsCollector accumulates one stats-registry snapshot per cluster run.

@@ -31,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig4", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9a", "fig9b", "table1", "table2", "table3",
 		"ablate-cache", "ablate-dm", "ablate-k", "availability", "chaos", "checksweep",
-		"mvcc"}
+		"mvcc", "slo"}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {
 			t.Errorf("missing experiment %s", id)
@@ -308,6 +308,29 @@ func TestFig9aQuick(t *testing.T) {
 	}
 	if tputs[3] <= tputs[0] {
 		t.Errorf("full feature set %.0f not above baseline %.0f", tputs[3], tputs[0])
+	}
+}
+
+// TestSLOQuick checks the open-loop hockey stick's shape: Xenic's p99 at
+// the top offered-load fraction exceeds its low-load p99 (queueing past the
+// knee), and the admission cell — same rate, queue-depth policy — stays
+// below the unadmitted p99 while rejecting the excess.
+func TestSLOQuick(t *testing.T) {
+	r := runByID(t, "slo")
+	// Quick mode: 3 fractions x 2 systems + 1 admission cell = 7 rows.
+	if len(r.Cells) != 7 {
+		t.Fatalf("want 7 rows, got %d", len(r.Cells))
+	}
+	p99 := func(i int) float64 { return r.Cells[i][7].Value.(float64) }
+	low, top, adm := p99(0), p99(2), p99(6)
+	if top <= low {
+		t.Errorf("no hockey stick: p99 at 1.4xC %.1fus <= p99 at 0.3xC %.1fus", top, low)
+	}
+	if adm >= top {
+		t.Errorf("admission did not bound p99: admitted %.1fus >= unadmitted %.1fus", adm, top)
+	}
+	if rej := r.Cells[6][5].Value.(float64); rej <= 0 {
+		t.Errorf("admission cell rejected nothing at 1.4xC")
 	}
 }
 

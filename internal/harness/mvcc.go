@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"xenic"
 	"xenic/internal/core"
 	"xenic/internal/sim"
 	"xenic/internal/txnmodel"
@@ -73,11 +74,11 @@ func runMVCCSweep(opt Options) *Report {
 		cfg.Outstanding = 16
 		cfg.Seed = o.Seed
 		cfg.MVCC = i%2 == 1
-		cl, err := core.New(cfg, d.gen())
+		tel := o.Telemetry.Sampler()
+		cl, err := xenic.NewCluster(cfg, d.gen(), xenic.WithTelemetry(tel))
 		if err != nil {
 			panic(err)
 		}
-		tel := o.Telemetry.Attach(cl)
 		res := cl.Measure(warm, win)
 		label := fmt.Sprintf("mvcc/%s-ro%.0f-%s", d.workload, 100*d.roFrac, onOff(cfg.MVCC))
 		o.Stats.Snap(label, cl.RegisterMetrics)

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"xenic"
 	"xenic/internal/sim"
 	"xenic/internal/telemetry"
 )
@@ -29,16 +28,16 @@ func NewTelemetryCollector(interval sim.Time) *TelemetryCollector {
 	return &TelemetryCollector{Interval: interval, Sets: map[string]*telemetry.Set{}}
 }
 
-// Attach creates a sampler, registers sys's probes on it, and returns it
-// for the matching Done call. A nil collector returns a nil sampler and the
-// system is untouched, so runners call Attach/Done unconditionally.
-func (c *TelemetryCollector) Attach(sys xenic.System) *telemetry.Sampler {
+// Sampler returns a fresh sampler for one cell, to be attached at
+// construction time via xenic.WithTelemetry and retired with the matching
+// Done call. A nil collector returns a nil sampler; WithTelemetry(nil) and
+// Done(label, nil) are both no-ops, so runners call the pair
+// unconditionally.
+func (c *TelemetryCollector) Sampler() *telemetry.Sampler {
 	if c == nil {
 		return nil
 	}
-	s := telemetry.New(c.Interval)
-	sys.SetTelemetry(s)
-	return s
+	return telemetry.New(c.Interval)
 }
 
 // Done stops s and stores its exported set under label, suffixing "#N" on

@@ -1,0 +1,94 @@
+package openloop
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xenic/internal/sim"
+)
+
+// Arrival is an interarrival-time process. Gap draws the next gap for a
+// stream whose mean interarrival time is mean; implementations must use only
+// the supplied PRNG so arrival schedules are reproducible under a seed.
+type Arrival interface {
+	Name() string
+	Gap(rng *rand.Rand, mean sim.Time) sim.Time
+}
+
+// Poisson is the memoryless arrival process: exponential interarrival gaps,
+// the classic open-loop client model (λ-NIC's serving regime).
+type Poisson struct{}
+
+// Name implements Arrival.
+func (Poisson) Name() string { return "poisson" }
+
+// Gap draws an exponential gap with the given mean.
+func (Poisson) Gap(rng *rand.Rand, mean sim.Time) sim.Time {
+	return clampGap(sim.Time(rng.ExpFloat64() * float64(mean)))
+}
+
+// BoundedPareto is a heavy-tailed arrival process: interarrival gaps follow
+// a Pareto distribution with tail index Alpha truncated to [L, Spread*L],
+// with L chosen so the mean matches the configured rate. Bursts of
+// near-back-to-back arrivals alternate with long quiet gaps, stressing
+// admission control far harder than Poisson at the same offered rate.
+type BoundedPareto struct {
+	// Alpha is the tail index (must be > 1 so the mean exists and != 1 for
+	// the closed form); DefaultAlpha when zero.
+	Alpha float64
+	// Spread is the upper truncation as a multiple of the lower bound;
+	// DefaultSpread when zero.
+	Spread float64
+}
+
+// Default tail shape: alpha 1.5 keeps the variance finite but large, and a
+// 100x truncation bounds the worst quiet gap.
+const (
+	DefaultAlpha  = 1.5
+	DefaultSpread = 100.0
+)
+
+// Name implements Arrival.
+func (BoundedPareto) Name() string { return "pareto" }
+
+// Gap draws a bounded-Pareto gap via inverse-CDF sampling, scaled so the
+// process mean equals mean.
+func (p BoundedPareto) Gap(rng *rand.Rand, mean sim.Time) sim.Time {
+	a, s := p.Alpha, p.Spread
+	if a == 0 {
+		a = DefaultAlpha
+	}
+	if s == 0 {
+		s = DefaultSpread
+	}
+	// E[X] = L * m(a, s) for the truncated Pareto on [L, s*L]:
+	// m = (a/(a-1)) * (1 - s^(1-a)) / (1 - s^-a).
+	m := (a / (a - 1)) * (1 - math.Pow(s, 1-a)) / (1 - math.Pow(s, -a))
+	low := float64(mean) / m
+	u := rng.Float64()
+	x := low * math.Pow(1-u*(1-math.Pow(s, -a)), -1/a)
+	return clampGap(sim.Time(x))
+}
+
+// clampGap keeps gaps strictly positive so arrival streams always advance
+// simulated time.
+func clampGap(g sim.Time) sim.Time {
+	if g < sim.Time(1) {
+		return 1
+	}
+	return g
+}
+
+// ParseArrival maps the CLI spelling to a process: "poisson" (default when
+// empty) or "pareto" with the default tail shape.
+func ParseArrival(name string) (Arrival, error) {
+	switch name {
+	case "", "poisson":
+		return Poisson{}, nil
+	case "pareto":
+		return BoundedPareto{}, nil
+	default:
+		return nil, fmt.Errorf("openloop: unknown arrival process %q (want poisson or pareto)", name)
+	}
+}

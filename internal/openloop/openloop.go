@@ -1,0 +1,280 @@
+// Package openloop is the open-loop traffic front-end: transactions arrive
+// according to a configured interarrival process at an offered rate that
+// does not depend on completions — the serving regime a deployed system
+// faces, where offered load can exceed capacity and p99 latency diverges
+// unless admission control sheds the excess.
+//
+// The front-end is a load.Source, so it drives any system implementing
+// load.Driver (the Xenic cluster and all four baselines). It layers:
+//
+//   - arrival processes (Poisson, bounded-Pareto) split across per-tenant
+//     streams, each carrying an equal share of the offered rate;
+//   - a session layer: a fixed-size pool of client sessions per tenant,
+//     each with home-coordinator key affinity and an optional churn process
+//     that closes sessions and opens replacements;
+//   - pluggable admission control (unlimited, token-bucket, queue-depth
+//     backpressure) deciding per arrival whether to inject, delay, or
+//     reject.
+//
+// Everything is driven by the simulation engine and seed-derived PRNGs, so
+// two runs with the same seed produce byte-identical traffic.
+package openloop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"xenic/internal/load"
+	"xenic/internal/metrics"
+	"xenic/internal/sim"
+	"xenic/internal/txnmodel"
+)
+
+// Config parameterizes the open-loop source. Rate is required; every other
+// field has a usable zero value.
+type Config struct {
+	// Rate is the offered load in transactions per simulated second,
+	// cluster-wide, split evenly across tenants. Required.
+	Rate float64
+	// Arrival is the interarrival process; nil means Poisson.
+	Arrival Arrival
+	// Sessions is the total client-session count across all tenants;
+	// DefaultSessions when zero. Must be >= Tenants.
+	Sessions int
+	// Tenants is the number of independent arrival streams; 1 when zero.
+	Tenants int
+	// SessionLife enables connection churn: sessions close after an
+	// exponentially distributed lifetime with this mean and are replaced
+	// immediately. Zero disables churn.
+	SessionLife sim.Time
+	// Admit is the admission-control policy; nil means Unlimited.
+	Admit Admission
+	// Seed derives every PRNG in the source; 1 when zero.
+	Seed int64
+}
+
+// DefaultSessions is the session-pool size when Config.Sessions is zero.
+const DefaultSessions = 64
+
+// Source is the open-loop front-end. Create with New, attach via
+// xenic.WithLoad (or load.Source.Attach directly), then Start/Stop as usual.
+type Source struct {
+	cfg Config
+	d   load.Driver
+	eng *sim.Engine
+	gen txnmodel.Generator
+
+	nodes   int
+	threads int
+
+	running bool
+	tenants []*tenant
+	nextSID uint64
+
+	// Admission accounting (see load.Stats for field semantics).
+	offered   int64
+	admitted  int64
+	delayed   int64
+	rejected  int64
+	completed int64
+	failed    int64
+	inflight  int
+	queue     []pending
+	opened    int64
+	closed    int64
+	active    int
+	qdelay    *metrics.Histogram
+	lat       *metrics.Histogram
+}
+
+// pending is one arrival parked by a Delay admission decision.
+type pending struct {
+	sess *session
+	at   sim.Time
+}
+
+// New returns an open-loop source for cfg. Configuration errors surface
+// from Attach, when the driver's shape is known.
+func New(cfg Config) *Source {
+	return &Source{
+		cfg:    cfg,
+		qdelay: metrics.NewHistogram(),
+		lat:    metrics.NewHistogram(),
+	}
+}
+
+// Attach implements load.Source: it validates cfg against the driver's
+// shape and builds the tenant streams and session pools.
+func (s *Source) Attach(d load.Driver) error {
+	if s.d != nil {
+		return errors.New("openloop: source already attached")
+	}
+	if d == nil {
+		return errors.New("openloop: nil driver")
+	}
+	if s.cfg.Rate <= 0 {
+		return fmt.Errorf("openloop: offered rate must be positive, got %v", s.cfg.Rate)
+	}
+	if s.cfg.Arrival == nil {
+		s.cfg.Arrival = Poisson{}
+	}
+	if s.cfg.Admit == nil {
+		s.cfg.Admit = Unlimited{}
+	}
+	if s.cfg.Tenants == 0 {
+		s.cfg.Tenants = 1
+	}
+	if s.cfg.Sessions == 0 {
+		s.cfg.Sessions = DefaultSessions
+	}
+	if s.cfg.Seed == 0 {
+		s.cfg.Seed = 1
+	}
+	if s.cfg.Tenants < 0 || s.cfg.Sessions < s.cfg.Tenants {
+		return fmt.Errorf("openloop: need at least one session per tenant (%d sessions, %d tenants)",
+			s.cfg.Sessions, s.cfg.Tenants)
+	}
+	s.d = d
+	s.eng = d.Engine()
+	s.gen = d.Workload()
+	s.nodes = d.Nodes()
+	s.threads = d.AppThreadsPerNode()
+	if s.nodes <= 0 || s.threads <= 0 {
+		return fmt.Errorf("openloop: driver reports no injection targets (%d nodes x %d threads)",
+			s.nodes, s.threads)
+	}
+	mean := sim.Time(float64(sim.Second) / s.cfg.Rate * float64(s.cfg.Tenants))
+	s.tenants = make([]*tenant, s.cfg.Tenants)
+	for i := range s.tenants {
+		t := &tenant{
+			id:    i,
+			mean:  clampGap(mean),
+			rng:   rand.New(rand.NewSource(s.cfg.Seed*1000003 + int64(i)*104729 + 1)),
+			churn: rand.New(rand.NewSource(s.cfg.Seed*1000003 + int64(i)*104729 + 2)),
+		}
+		s.tenants[i] = t
+	}
+	// Deal sessions round-robin so pools differ by at most one.
+	for i := 0; i < s.cfg.Sessions; i++ {
+		t := s.tenants[i%len(s.tenants)]
+		t.sessions = append(t.sessions, s.newSession(t))
+	}
+	return nil
+}
+
+// Start implements load.Source: arrival streams begin (or resume) firing.
+func (s *Source) Start() {
+	if s.d == nil || s.running {
+		return
+	}
+	s.running = true
+	for _, t := range s.tenants {
+		s.arm(t)
+	}
+}
+
+// Stop implements load.Source: streams stop after their pending gap expires
+// and the backpressure queue is dropped (counted rejected); in-flight
+// transactions drain through the system as usual.
+func (s *Source) Stop() {
+	if !s.running {
+		return
+	}
+	s.running = false
+	s.rejected += int64(len(s.queue))
+	s.queue = nil
+}
+
+// arm schedules t's next arrival unless one is already pending.
+func (s *Source) arm(t *tenant) {
+	if t.armed {
+		return
+	}
+	t.armed = true
+	s.eng.After(s.cfg.Arrival.Gap(t.rng, t.mean), func() { s.tick(t) })
+}
+
+// tick fires one arrival for t and schedules the next; a stopped source
+// lets the stream go quiet instead.
+func (s *Source) tick(t *tenant) {
+	if !s.running {
+		t.armed = false
+		return
+	}
+	s.arrive(t)
+	s.eng.After(s.cfg.Arrival.Gap(t.rng, t.mean), func() { s.tick(t) })
+}
+
+// arrive processes one offered arrival: pick the issuing session, consult
+// admission control, and inject, park, or drop.
+func (s *Source) arrive(t *tenant) {
+	s.offered++
+	sess := t.sessions[t.rng.Intn(len(t.sessions))]
+	now := s.eng.Now()
+	switch s.cfg.Admit.Arrive(now, s.inflight, len(s.queue)) {
+	case Admit:
+		s.launch(sess, now)
+	case Delay:
+		s.delayed++
+		s.queue = append(s.queue, pending{sess: sess, at: now})
+	case Reject:
+		s.rejected++
+	}
+}
+
+// launch injects one transaction for sess, stamping it with its original
+// arrival time so client-observed latency includes any queue delay.
+func (s *Source) launch(sess *session, arrivedAt sim.Time) {
+	s.admitted++
+	s.inflight++
+	desc := s.gen.Next(sess.node, sess.thread, sess.rng)
+	s.d.InjectTxn(sess.node, sess.thread, desc, func(ok bool) {
+		s.finish(arrivedAt, ok)
+	})
+}
+
+// finish is the completion callback for every injected transaction: account
+// the outcome, credit the admission policy, and admit queued arrivals into
+// the freed capacity.
+func (s *Source) finish(arrivedAt sim.Time, ok bool) {
+	s.inflight--
+	if ok {
+		s.completed++
+	} else {
+		s.failed++
+	}
+	now := s.eng.Now()
+	s.lat.Record(now - arrivedAt)
+	s.cfg.Admit.Release(now)
+	for len(s.queue) > 0 {
+		if s.cfg.Admit.Arrive(now, s.inflight, len(s.queue)-1) != Admit {
+			break
+		}
+		head := s.queue[0]
+		s.queue = s.queue[1:]
+		s.qdelay.Record(now - head.at)
+		s.launch(head.sess, head.at)
+	}
+}
+
+// Stats implements load.Source.
+func (s *Source) Stats() load.Stats {
+	return load.Stats{
+		Offered:        s.offered,
+		Admitted:       s.admitted,
+		Delayed:        s.delayed,
+		Rejected:       s.rejected,
+		Completed:      s.completed,
+		Failed:         s.failed,
+		InFlight:       s.inflight,
+		QueueLen:       len(s.queue),
+		ActiveSessions: s.active,
+		SessionsOpened: s.opened,
+		SessionsClosed: s.closed,
+		QueueDelayMean: s.qdelay.Mean(),
+		QueueDelayP99:  load.QuantileOrZero(s.qdelay, 0.99),
+		LatencyP50:     load.QuantileOrZero(s.lat, 0.50),
+		LatencyP99:     load.QuantileOrZero(s.lat, 0.99),
+	}
+}

@@ -1,0 +1,74 @@
+package openloop
+
+import (
+	"math/rand"
+
+	"xenic/internal/sim"
+)
+
+// A session models one client connection: it has a home (node, thread)
+// coordinator pair — so its transactions exhibit key affinity through the
+// workload's locality model — and its own PRNG, so the keys it touches are
+// stable across runs regardless of what other sessions do. Sessions belong
+// to a tenant; each tenant is an independent arrival stream.
+type session struct {
+	id     uint64
+	node   int
+	thread int
+	rng    *rand.Rand
+	live   bool
+}
+
+// A tenant is one independent arrival stream carrying 1/Tenants of the
+// offered rate across its pool of sessions. It owns two PRNGs: one for
+// arrival gaps and session selection, one for churn lifetimes, so enabling
+// churn never perturbs the arrival schedule.
+type tenant struct {
+	id       int
+	mean     sim.Time // mean interarrival gap for this stream
+	rng      *rand.Rand
+	churn    *rand.Rand
+	sessions []*session
+	armed    bool // an arrival event is pending on the engine
+}
+
+// newSession opens a session with round-robin coordinator affinity and a
+// seed-derived PRNG, and schedules its expiry when churn is enabled.
+func (s *Source) newSession(t *tenant) *session {
+	id := s.nextSID
+	s.nextSID++
+	sess := &session{
+		id:     id,
+		node:   int(id % uint64(s.nodes)),
+		thread: int(id/uint64(s.nodes)) % s.threads,
+		rng:    rand.New(rand.NewSource(s.cfg.Seed*1000003 + int64(id)*7919 + 13)),
+		live:   true,
+	}
+	s.opened++
+	s.active++
+	if s.cfg.SessionLife > 0 {
+		life := clampGap(sim.Time(t.churn.ExpFloat64() * float64(s.cfg.SessionLife)))
+		s.eng.After(life, func() { s.expire(t, sess) })
+	}
+	return sess
+}
+
+// expire closes sess and immediately opens a replacement, keeping the
+// tenant's pool size constant: connection churn changes *which* keys are
+// hot, not how much load is offered. Transactions the dying session already
+// has in flight (or queued) complete normally — closing a connection does
+// not cancel submitted work.
+func (s *Source) expire(t *tenant, sess *session) {
+	if !sess.live {
+		return
+	}
+	sess.live = false
+	s.closed++
+	s.active--
+	for i, cur := range t.sessions {
+		if cur == sess {
+			t.sessions[i] = s.newSession(t)
+			return
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package xenic_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xenic"
+)
+
+// openSystems builds all five systems (Xenic + 4 baselines) with an
+// open-loop source configured by cfg, at a small 4-node scale.
+func openSystems(t *testing.T, cfg xenic.OpenLoopConfig) map[string]xenic.System {
+	t.Helper()
+	out := map[string]xenic.System{}
+	xc := xenic.DefaultConfig()
+	xc.Nodes = 4
+	xc.AppThreads = 2
+	xc.WorkerThreads = 1
+	xc.NICCores = 4
+	cl, err := xenic.NewCluster(xc, &tinyWorkload{keys: 4000}, xenic.WithOpenLoop(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["xenic"] = cl
+	for _, sys := range []xenic.Baseline{xenic.DrTMH, xenic.DrTMHNC, xenic.FaSST, xenic.DrTMR} {
+		bc := xenic.DefaultBaselineConfig(sys)
+		bc.Nodes = 4
+		bc.Threads = 4
+		b, err := xenic.NewBaseline(bc, &tinyWorkload{keys: 4000}, xenic.WithOpenLoop(cfg))
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		out[fmt.Sprint(sys)] = b
+	}
+	return out
+}
+
+// TestOpenLoopAllSystems drives the open-loop front-end through every
+// system: arrivals flow, transactions complete, and the system drains.
+func TestOpenLoopAllSystems(t *testing.T) {
+	for name, sys := range openSystems(t, xenic.OpenLoopConfig{
+		Rate: 2e6, Sessions: 32, Seed: 7,
+	}) {
+		sys.Start()
+		sys.Run(2 * xenic.Millisecond)
+		ol := sys.OfferedLoad()
+		if ol.Offered == 0 || ol.Admitted == 0 || ol.Completed == 0 {
+			t.Fatalf("%s: no open-loop traffic: %+v", name, ol)
+		}
+		if ol.Rejected != 0 || ol.Delayed != 0 {
+			t.Fatalf("%s: unlimited admission rejected/delayed: %+v", name, ol)
+		}
+		if ol.ActiveSessions != 32 || ol.SessionsOpened != 32 {
+			t.Fatalf("%s: wrong session pool: %+v", name, ol)
+		}
+		if ol.LatencyP99 <= 0 || ol.LatencyP50 <= 0 {
+			t.Fatalf("%s: no client latency recorded: %+v", name, ol)
+		}
+		if !sys.Drain(20 * xenic.Millisecond) {
+			t.Fatalf("%s: failed to drain", name)
+		}
+		end := sys.OfferedLoad()
+		if got := end.Completed + end.Failed; got != end.Admitted {
+			t.Fatalf("%s: admitted %d but finished %d after drain", name, end.Admitted, got)
+		}
+		if end.InFlight != 0 || end.QueueLen != 0 {
+			t.Fatalf("%s: residual in-flight work after drain: %+v", name, end)
+		}
+	}
+}
+
+// TestOpenLoopDeterminism runs the same seeded open-loop configuration
+// twice on every system and requires identical results and counters.
+func TestOpenLoopDeterminism(t *testing.T) {
+	run := func() map[string]string {
+		out := map[string]string{}
+		for name, sys := range openSystems(t, xenic.OpenLoopConfig{
+			Rate: 1.5e6, Sessions: 16, Tenants: 4,
+			SessionLife: 500 * xenic.Microsecond,
+			Admit:       xenic.NewOpenLoopQueueDepth(64, 256),
+			Seed:        11,
+		}) {
+			res := sys.Measure(500*xenic.Microsecond, 2*xenic.Millisecond)
+			out[name] = fmt.Sprintf("%v | %+v", res, sys.OfferedLoad())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for name := range a {
+		if a[name] != b[name] {
+			t.Fatalf("%s: seeded runs diverge:\n%s\n%s", name, a[name], b[name])
+		}
+	}
+}
+
+// TestSessionChurn enables connection churn and checks sessions cycle while
+// the pool size stays constant and the system still drains cleanly.
+func TestSessionChurn(t *testing.T) {
+	for name, sys := range openSystems(t, xenic.OpenLoopConfig{
+		Rate: 1e6, Sessions: 16, SessionLife: 200 * xenic.Microsecond, Seed: 3,
+	}) {
+		sys.Start()
+		sys.Run(2 * xenic.Millisecond)
+		ol := sys.OfferedLoad()
+		if ol.SessionsClosed == 0 {
+			t.Fatalf("%s: churn enabled but no sessions closed: %+v", name, ol)
+		}
+		if ol.ActiveSessions != 16 {
+			t.Fatalf("%s: churn changed the pool size: %+v", name, ol)
+		}
+		if ol.SessionsOpened != ol.SessionsClosed+16 {
+			t.Fatalf("%s: open/close accounting off: %+v", name, ol)
+		}
+		if !sys.Drain(20 * xenic.Millisecond) {
+			t.Fatalf("%s: failed to drain under churn", name)
+		}
+	}
+}
+
+// TestMeasureStartsAttachedSource pins the Measure contract for open-loop:
+// with a LoadSource attached, Measure starts the source — never the
+// built-in closed loop.
+func TestMeasureStartsAttachedSource(t *testing.T) {
+	cfg := xenic.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.AppThreads = 2
+	cfg.WorkerThreads = 1
+	cfg.NICCores = 4
+	cl, err := xenic.NewCluster(cfg, &tinyWorkload{keys: 4000},
+		xenic.WithOpenLoop(xenic.OpenLoopConfig{Rate: 1e6, Sessions: 16, Seed: 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Measure(500*xenic.Microsecond, 2*xenic.Millisecond)
+	ol := cl.OfferedLoad()
+	if ol.Offered == 0 {
+		t.Fatal("Measure did not start the attached source")
+	}
+	// Closed-loop top-up would commit far more than the source admitted;
+	// every committed transaction must be an admitted open-loop arrival.
+	if res.Committed == 0 || int64(res.Committed) > ol.Admitted {
+		t.Fatalf("closed loop leaked into an open-loop Measure: committed=%d admitted=%d",
+			res.Committed, ol.Admitted)
+	}
+}
+
+// TestOpenLoopAdmissionBounds checks queue-depth backpressure holds
+// in-flight work at its bound under an overload rate while the unlimited
+// policy lets it grow without bound.
+func TestOpenLoopAdmissionBounds(t *testing.T) {
+	build := func(admit xenic.LoadAdmission) xenic.System {
+		cfg := xenic.DefaultConfig()
+		cfg.Nodes = 4
+		cfg.AppThreads = 2
+		cfg.WorkerThreads = 1
+		cfg.NICCores = 4
+		cl, err := xenic.NewCluster(cfg, &tinyWorkload{keys: 4000},
+			xenic.WithOpenLoop(xenic.OpenLoopConfig{
+				Rate: 4e7, Sessions: 32, Admit: admit, Seed: 9,
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	bounded := build(xenic.NewOpenLoopQueueDepth(32, 128))
+	bounded.Start()
+	bounded.Run(2 * xenic.Millisecond)
+	bl := bounded.OfferedLoad()
+	if bl.InFlight > 32 {
+		t.Fatalf("queue-depth bound violated: %+v", bl)
+	}
+	if bl.Rejected == 0 {
+		t.Fatalf("overload with a full queue should reject: %+v", bl)
+	}
+
+	open := build(nil) // unlimited
+	open.Start()
+	open.Run(2 * xenic.Millisecond)
+	old := open.OfferedLoad()
+	if old.InFlight <= 32 {
+		t.Fatalf("unlimited admission under overload should exceed the bound: %+v", old)
+	}
+	if old.Rejected != 0 {
+		t.Fatalf("unlimited admission rejected arrivals: %+v", old)
+	}
+}

@@ -22,7 +22,9 @@ import (
 	"xenic/internal/check"
 	"xenic/internal/core"
 	"xenic/internal/fault"
+	"xenic/internal/load"
 	"xenic/internal/metrics"
+	"xenic/internal/openloop"
 	"xenic/internal/model"
 	"xenic/internal/sim"
 	"xenic/internal/telemetry"
@@ -86,30 +88,85 @@ type Result = core.Result
 // Cluster is a simulated Xenic deployment.
 type Cluster = core.Cluster
 
+// LoadSource decides when transactions enter a system and which session
+// issues them. The built-in closed loop is one implementation (the default
+// when no source is attached); the open-loop front-end (WithOpenLoop,
+// internal/openloop) is another. Attach one at construction with WithLoad.
+type LoadSource = load.Source
+
+// LoadStats is a snapshot of a LoadSource's admission and session counters
+// (System.OfferedLoad). All-zero under the built-in closed loop.
+type LoadStats = load.Stats
+
+// OpenLoopConfig parameterizes the open-loop traffic front-end: offered
+// rate, arrival process, session pool, tenancy, churn, and admission policy.
+type OpenLoopConfig = openloop.Config
+
+// ArrivalProcess draws interarrival gaps for the open-loop front-end
+// (OpenLoopConfig.Arrival). Nil means Poisson.
+type ArrivalProcess = openloop.Arrival
+
+// PoissonArrivals returns the memoryless arrival process (the default).
+func PoissonArrivals() ArrivalProcess { return openloop.Poisson{} }
+
+// ParetoArrivals returns the heavy-tailed bounded-Pareto arrival process
+// with the default tail shape.
+func ParetoArrivals() ArrivalProcess { return openloop.BoundedPareto{} }
+
+// LoadAdmission is a pluggable admission-control policy for the open-loop
+// front-end (OpenLoopConfig.Admit). Nil admits everything.
+type LoadAdmission = openloop.Admission
+
+// NewOpenLoopTokenBucket returns a token-bucket admission policy: arrivals
+// beyond rate txns/sec (with a burst allowance) are rejected outright.
+func NewOpenLoopTokenBucket(rate, burst float64) LoadAdmission {
+	return openloop.NewTokenBucket(rate, burst)
+}
+
+// NewOpenLoopQueueDepth returns a queue-depth admission policy: at most
+// maxInFlight admitted-but-unfinished transactions, excess arrivals queue
+// up to maxQueue and are rejected beyond that.
+func NewOpenLoopQueueDepth(maxInFlight, maxQueue int) LoadAdmission {
+	return openloop.NewQueueDepth(maxInFlight, maxQueue)
+}
+
 // System is the common surface of every simulated transaction system: the
 // Xenic cluster and each RDMA/RPC baseline implement it, so measurement code
 // (the harness curve runners, examples, user benchmarks) is written once
 // against System and runs unchanged over any of them.
 //
 // The lifecycle is: construct (NewCluster/NewBaseline, attaching observers
-// via Options), Start load, Measure one or more windows, then Drain. Run
-// advances simulated time directly for callers that manage their own
-// windows; StopLoad halts generation without waiting for quiescence.
+// and optionally a LoadSource via Options), Start load, Measure one or more
+// windows, then Drain. Run advances simulated time directly for callers that
+// manage their own windows; StopLoad halts generation without waiting for
+// quiescence.
 type System interface {
-	// Start begins closed-loop load generation on every application thread.
+	// Start begins load generation: the LoadSource attached via WithLoad,
+	// or, when none is attached, the built-in closed loop on every
+	// application thread.
 	Start()
 	// StopLoad stops generating new transactions; in-flight ones drain.
 	StopLoad()
 	// Run advances simulated time by d.
 	Run(d Time)
 	// Measure runs warmup, resets statistics, runs the measurement window,
-	// and aggregates cluster-wide results. Starts load if not yet started.
+	// and aggregates cluster-wide results. If load is not yet running it
+	// starts whatever generator is attached — it never falls back to the
+	// closed loop when a LoadSource is attached.
 	Measure(warmup, window Time) Result
 	// Drain stops load and runs until quiesced (or the deadline elapses),
 	// reporting success.
 	Drain(deadline Time) bool
 	// Quiesced reports whether the system has fully drained.
 	Quiesced() bool
+	// SetLoad attaches a load source, replacing the built-in closed loop as
+	// what Start/StopLoad control. Call before any load has started. Prefer
+	// WithLoad at construction.
+	SetLoad(src LoadSource) error
+	// OfferedLoad snapshots the attached LoadSource's counters (offered,
+	// admitted, rejected, completed, sessions, queue delay). All-zero under
+	// the built-in closed loop.
+	OfferedLoad() LoadStats
 	// SetTracer attaches a tracer (nil disables tracing). Call before Start.
 	// Prefer WithTracer at construction.
 	SetTracer(tr *Tracer)
@@ -151,6 +208,7 @@ type options struct {
 	tel       *Telemetry
 	faults    *FaultPlan
 	setFaults bool
+	loadSrc   LoadSource
 }
 
 // WithTracer attaches tr before any traffic flows (equivalent to calling
@@ -182,6 +240,23 @@ func WithFaults(p *FaultPlan) Option {
 	return func(o *options) { o.faults = p; o.setFaults = true }
 }
 
+// WithLoad attaches a LoadSource at construction: Start/StopLoad then
+// control the source instead of the built-in closed loop. Source attach
+// errors (e.g. a misconfigured offered rate) surface from
+// NewCluster/NewBaseline.
+func WithLoad(src LoadSource) Option { return func(o *options) { o.loadSrc = src } }
+
+// WithOpenLoop attaches the open-loop traffic front-end with the given
+// configuration — shorthand for WithLoad(NewOpenLoop(cfg)).
+func WithOpenLoop(cfg OpenLoopConfig) Option {
+	return func(o *options) { o.loadSrc = openloop.New(cfg) }
+}
+
+// NewOpenLoop returns an open-loop LoadSource for cfg (attach it with
+// WithLoad, or pass cfg directly to WithOpenLoop). Configuration errors
+// surface when the source is attached to a system.
+func NewOpenLoop(cfg OpenLoopConfig) LoadSource { return openloop.New(cfg) }
+
 func gather(opts []Option) options {
 	var o options
 	for _, opt := range opts {
@@ -190,8 +265,15 @@ func gather(opts []Option) options {
 	return o
 }
 
-// apply wires the gathered observers into a constructed system.
-func (o options) apply(s System) {
+// apply wires the gathered load source and observers into a constructed
+// system. The source attaches first so observers registered afterwards
+// (telemetry in particular) see it and expose its series.
+func (o options) apply(s System) error {
+	if o.loadSrc != nil {
+		if err := s.SetLoad(o.loadSrc); err != nil {
+			return err
+		}
+	}
 	if o.tracer != nil {
 		s.SetTracer(o.tracer)
 	}
@@ -204,6 +286,7 @@ func (o options) apply(s System) {
 	if o.tel != nil {
 		s.SetTelemetry(o.tel)
 	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's testbed: 6 servers, 3-way replication,
@@ -227,7 +310,9 @@ func NewCluster(cfg Config, w Workload, opts ...Option) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	o.apply(cl)
+	if err := o.apply(cl); err != nil {
+		return nil, err
+	}
 	return cl, nil
 }
 
@@ -262,7 +347,9 @@ func NewBaseline(cfg BaselineConfig, w Workload, opts ...Option) (*BaselineClust
 	if err != nil {
 		return nil, err
 	}
-	o.apply(cl)
+	if err := o.apply(cl); err != nil {
+		return nil, err
+	}
 	return cl, nil
 }
 
