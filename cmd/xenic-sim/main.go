@@ -71,6 +71,10 @@ func main() {
 	tel := cliflags.AddTelemetry(flag.CommandLine, "sample time-resolved telemetry; write PREFIX.csv, PREFIX.json, PREFIX.html and print the bottleneck verdict")
 	ol := cliflags.AddOpenLoop(flag.CommandLine)
 	roFrac := flag.Float64("ro-frac", 0, "override the read-only transaction fraction (retwis and smallbank; 0 = the paper's mix)")
+	alpha := flag.Float64("alpha", 0, "override the retwis Zipf skew alpha (0 = the paper's 0.5)")
+	hotFrac := flag.Float64("hot-frac", 0, "override the smallbank hot-account fraction (0 = the paper's 0.04)")
+	hotProb := flag.Float64("hot-prob", 0, "override the smallbank hot-access probability (0 = the paper's 0.9)")
+	sched := cliflags.AddSched(flag.CommandLine)
 	flag.Parse()
 
 	var plan *xenic.FaultPlan
@@ -94,11 +98,20 @@ func main() {
 		g := xenic.Retwis()
 		g.KeysPerServer = scaleInt(1_000_000, *scale, 1000)
 		g.ReadOnlyFrac = *roFrac
+		if *alpha > 0 {
+			g.Alpha = *alpha
+		}
 		gen = g
 	case "smallbank":
 		g := xenic.Smallbank()
 		g.AccountsPerServer = scaleInt(2_400_000, *scale, 1000)
 		g.ReadOnlyFrac = *roFrac
+		if *hotFrac > 0 {
+			g.HotFrac = *hotFrac
+		}
+		if *hotProb > 0 {
+			g.HotProb = *hotProb
+		}
 		gen = g
 	default:
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
@@ -148,6 +161,9 @@ func main() {
 		cfg.Faults = plan
 		cfg.MVCC = obs.MVCC
 		cfg.MVCCKeep = obs.MVCCKeep
+		cfg.Sched = sched.Enabled
+		cfg.SchedBatchUs = sched.BatchUs
+		cfg.SchedHotK = sched.HotK
 		if *oneLink {
 			cfg.Params = cfg.Params.OneLink()
 		}
@@ -196,6 +212,9 @@ func main() {
 	}
 	if obs.MVCC {
 		fmt.Fprintln(os.Stderr, "xenic-sim: -mvcc is only supported for -system xenic; ignoring")
+	}
+	if sched.Enabled {
+		fmt.Fprintln(os.Stderr, "xenic-sim: -sched is only supported for -system xenic; ignoring")
 	}
 	cl, err := xenic.NewBaseline(cfg, gen, opts...)
 	must(err)

@@ -333,6 +333,9 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		res.AbortVersion += n.stats.AbortReasons[wire.StatusAbortVersion] - snaps[i].reasons[wire.StatusAbortVersion]
 		res.AbortMissing += n.stats.AbortReasons[wire.StatusAbortMissing] - snaps[i].reasons[wire.StatusAbortMissing]
 		res.AbortView += n.stats.AbortReasons[wire.StatusAbortView] - snaps[i].reasons[wire.StatusAbortView]
+		// Verb timeouts on fault runs must land in the breakdown too, so
+		// the per-reason fields always sum to Aborts.
+		res.AbortTimeout += n.stats.AbortReasons[wire.StatusAbortTimeout] - snaps[i].reasons[wire.StatusAbortTimeout]
 		lat.Merge(n.stats.Latency)
 	}
 	res.PerServerTput = float64(res.Measured) / window.Seconds() / float64(len(cl.nodes))

@@ -139,6 +139,21 @@ func New(cfg Config, gen txnmodel.Generator) (*Cluster, error) {
 		}
 
 		n.nic.OnMessage(n.nicHandler)
+		if cfg.Sched {
+			sc := nicrt.DefaultSchedConfig()
+			if cfg.SchedBatchUs > 0 {
+				sc.BatchWindow = sim.Time(cfg.SchedBatchUs) * sim.Microsecond
+			}
+			if cfg.SchedHotK > 0 {
+				sc.HotThreshold = cfg.SchedHotK
+			}
+			sched := nicrt.NewScheduler(cl.eng, sc)
+			n.nic.SetScheduler(sched)
+			node, snic := n, n.nic
+			sched.OnShed(func(req *wire.TxnRequest) {
+				snic.Inject(snic.LiveCore(), func(c *nicrt.Core) { node.shedTxn(c, req) })
+			})
+		}
 		nic, host := n.nic, n.host
 		n.nic.OnHostDeliver(func(ms []wire.Msg) { host.Deliver(id, ms) })
 		n.host.OnMessage(n.hostHandler)
@@ -444,6 +459,8 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		res.AbortVersion += n.stats.AbortReasons[wire.StatusAbortVersion] - snaps[i].reasons[wire.StatusAbortVersion]
 		res.AbortMissing += n.stats.AbortReasons[wire.StatusAbortMissing] - snaps[i].reasons[wire.StatusAbortMissing]
 		res.AbortView += n.stats.AbortReasons[wire.StatusAbortView] - snaps[i].reasons[wire.StatusAbortView]
+		res.AbortTimeout += n.stats.AbortReasons[wire.StatusAbortTimeout] - snaps[i].reasons[wire.StatusAbortTimeout]
+		res.AbortSched += n.stats.AbortReasons[wire.StatusAbortSched] - snaps[i].reasons[wire.StatusAbortSched]
 		lat.Merge(n.stats.Latency)
 		if cl.mv.enabled {
 			res.ROCommitted += n.stats.ROCommitted - snaps[i].roCommitted
@@ -462,6 +479,30 @@ func (cl *Cluster) Measure(warmup, window sim.Time) Result {
 		res.ROP99 = roLat.Quantile(0.99)
 	}
 	return res
+}
+
+// SchedStats is the conflict scheduler's counter block, re-exported so
+// callers aggregating cluster results need not import nicrt.
+type SchedStats = nicrt.SchedStats
+
+// SchedStats sums the per-node conflict-scheduler counters. Zero-valued
+// when the scheduler is disabled.
+func (cl *Cluster) SchedStats() nicrt.SchedStats {
+	var s nicrt.SchedStats
+	for _, n := range cl.nodes {
+		sched := n.nic.Scheduler()
+		if sched == nil {
+			continue
+		}
+		st := sched.Stats()
+		s.Submitted += st.Submitted
+		s.Batches += st.Batches
+		s.Dispatched += st.Dispatched
+		s.HotRouted += st.HotRouted
+		s.Parked += st.Parked
+		s.Shed += st.Shed
+	}
+	return s
 }
 
 // Quiesced reports whether the cluster has fully drained: no in-flight

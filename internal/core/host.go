@@ -342,7 +342,21 @@ func (n *Node) submitLocal(t *hostrt.Thread, at *appThread, tx *appTxn) {
 		// Validate at the host table and finish with no PCIe traffic.
 		for _, rv := range readVers {
 			t.Charge(n.cl.cfg.Params.HostStoreOp)
-			_, ver, _ := n.prim(n.place().ShardOf(rv.Key)).data.Read(rv.Key)
+			p := n.prim(n.place().ShardOf(rv.Key))
+			// §4.2 step 4 applies to this path too: each key must be
+			// unlocked AND at its expected version, exactly like
+			// serverValidate and coordLocalCommit. A version-only check
+			// reads a validated-but-unapplied writer's pre-commit value
+			// during its lock window — normally a few microseconds, but
+			// crash/restart state transfer congests log replication and
+			// stretches it past 50us, where the high-skew sweep caught
+			// read-only transactions committing non-serializable reads.
+			if p.index.IsLocked(rv.Key, tx.id) {
+				n.recordHostLocal(tx, wire.StatusAbortLocked, readVers, t.Now())
+				n.retryTxn(t, at, tx, wire.StatusAbortLocked)
+				return
+			}
+			_, ver, _ := p.data.Read(rv.Key)
 			if ver != rv.Version {
 				n.recordHostLocal(tx, wire.StatusAbortVersion, readVers, t.Now())
 				n.retryTxn(t, at, tx, wire.StatusAbortVersion)

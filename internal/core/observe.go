@@ -133,6 +133,11 @@ func (n *Node) setPhase(t *ctxn, ph phase) {
 // exactly once per ctxn, immediately before deleting it from n.ctxns.
 func (n *Node) closeTxn(t *ctxn, st wire.Status) {
 	n.dbgEvt(t.id, "closeTxn status=%v phase=%v", st, t.phase)
+	// Release any hot-key claims the conflict scheduler holds for this
+	// transaction and re-admit its waiters. closeTxn is the single funnel
+	// every coordinated transaction passes through exactly once (commit,
+	// abort, recovery sweep, snapshot), so claims cannot leak.
+	n.nic.SchedDone(t.id)
 	now := n.cl.eng.Now()
 	if h := n.stats.PhaseLat[t.phase]; h != nil {
 		h.Record(now - t.phaseAt)

@@ -1,0 +1,360 @@
+package nicrt
+
+import (
+	"testing"
+
+	"xenic/internal/model"
+	"xenic/internal/sim"
+	"xenic/internal/simnet"
+	"xenic/internal/wire"
+)
+
+// schedNIC builds a one-node NIC with an attached scheduler whose handler
+// records the (core, txn) pairs of every transaction start it processes.
+func schedNIC(t *testing.T, cfg SchedConfig) (*sim.Engine, *NIC, *Scheduler, *[]dispatched) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	p := model.Default()
+	nw := simnet.New(eng, p, 2)
+	n := New(eng, p, nw, 0, 4, 1, AllFeatures())
+	n.OnHostDeliver(func(ms []wire.Msg) {})
+	var got []dispatched
+	n.OnMessage(func(c *Core, src int, m wire.Msg) {
+		if req, ok := m.(*wire.TxnRequest); ok {
+			got = append(got, dispatched{core: c.id, txn: req.TxnID})
+		}
+	})
+	s := NewScheduler(eng, cfg)
+	// Tests that exercise shedding install their own handler; the default
+	// keeps RunAll from tripping the no-handler panic on late timers.
+	s.OnShed(func(req *wire.TxnRequest) {})
+	n.SetScheduler(s)
+	return eng, n, s, &got
+}
+
+type dispatched struct {
+	core int
+	txn  uint64
+}
+
+func startReq(id uint64, writes ...uint64) *wire.TxnRequest {
+	return &wire.TxnRequest{Header: wire.Header{TxnID: id, Src: 0}, WriteKeys: writes}
+}
+
+func TestSchedDecayHalving(t *testing.T) {
+	const hl = 50 * sim.Microsecond
+	e := heatEntry{count: 8, last: 0}
+	if got := decayedCount(e, 49*sim.Microsecond, hl); got != 8 {
+		t.Errorf("sub-half-life decay: got %d, want 8", got)
+	}
+	if got := decayedCount(e, hl, hl); got != 4 {
+		t.Errorf("one half-life: got %d, want 4", got)
+	}
+	if got := decayedCount(e, 3*hl, hl); got != 1 {
+		t.Errorf("three half-lives: got %d, want 1", got)
+	}
+	if got := decayedCount(e, 100*hl, hl); got != 0 {
+		t.Errorf("far future: got %d, want 0", got)
+	}
+	// The remainder interval is preserved: decaying at 2.5 half-lives keeps
+	// last pinned to the 2-half-life boundary so the half interval still
+	// counts toward the next halving.
+	d := decay(e, 2*hl+hl/2, hl)
+	if d.count != 2 || d.last != 2*hl {
+		t.Errorf("remainder: got count=%d last=%v, want count=2 last=%v", d.count, d.last, 2*hl)
+	}
+	if got := decayedCount(d, 3*hl, hl); got != 1 {
+		t.Errorf("remainder carried: got %d, want 1", got)
+	}
+}
+
+func TestSchedTouchAccumulatesAndDecays(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	eng, _, s, _ := schedNIC(t, cfg)
+	for i := 0; i < 10; i++ {
+		s.touch(7, eng.Now())
+	}
+	if got := s.Heat(7); got != 10 {
+		t.Fatalf("heat after 10 touches = %d", got)
+	}
+	eng.Run(2 * cfg.DecayHalfLife)
+	if got := s.Heat(7); got != 2 {
+		t.Fatalf("heat after two half-lives = %d, want 2", got)
+	}
+	if s.Heat(999) != 0 {
+		t.Fatal("untouched key has heat")
+	}
+}
+
+func TestSchedSweepEvictsColdKeys(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.MaxTracked = 4
+	eng, _, s, _ := schedNIC(t, cfg)
+	for k := uint64(0); k < 4; k++ {
+		s.touch(k, eng.Now())
+	}
+	// All four decay to zero; the next touch past the bound sweeps them out.
+	eng.Run(64 * cfg.DecayHalfLife)
+	s.touch(100, eng.Now())
+	if got := s.TrackedKeys(); got != 1 {
+		t.Fatalf("tracked keys after sweep = %d, want 1", got)
+	}
+	if s.Heat(100) != 1 {
+		t.Fatal("fresh key lost by sweep")
+	}
+}
+
+func TestSchedBatchFlushTiming(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 2 * sim.Microsecond
+	eng, n, s, got := schedNIC(t, cfg)
+	var flushedAt sim.Time
+	eng.Defer(func() {
+		n.FromHost([]wire.Msg{startReq(1, 10)})
+		// Second start inside the window batches with the first.
+		eng.After(1*sim.Microsecond, func() {
+			n.FromHost([]wire.Msg{startReq(2, 20)})
+		})
+		eng.After(cfg.BatchWindow, func() { flushedAt = eng.Now() })
+	})
+	eng.RunAll()
+	if s.Stats().Batches != 1 {
+		t.Fatalf("batches = %d, want 1 (both starts inside one window)", s.Stats().Batches)
+	}
+	if s.Stats().Submitted != 2 || s.Stats().Dispatched != 2 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	if len(*got) != 2 {
+		t.Fatalf("handler saw %d starts", len(*got))
+	}
+	_ = flushedAt // the flush timer fires exactly one window after the first submit
+}
+
+func TestSchedSecondBatchAfterWindow(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 2 * sim.Microsecond
+	eng, n, s, _ := schedNIC(t, cfg)
+	eng.Defer(func() {
+		n.FromHost([]wire.Msg{startReq(1, 10)})
+		// Past the first window: its own batch, its own flush.
+		eng.After(10*sim.Microsecond, func() {
+			n.FromHost([]wire.Msg{startReq(2, 20)})
+		})
+	})
+	eng.RunAll()
+	if s.Stats().Batches != 2 {
+		t.Fatalf("batches = %d, want 2", s.Stats().Batches)
+	}
+}
+
+// TestSchedHotKeyCoLocation is the core scheduling property: writers of a
+// hot key claim it, later writers park instead of racing, and conflicters
+// land on the same core (routed by the hot key, not their txn ids).
+func TestSchedHotKeyCoLocation(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 1 * sim.Microsecond
+	cfg.HotThreshold = 2
+	cfg.ShedAfter = sim.Second // parked on purpose; keep the backstop out of frame
+	const K = uint64(42)
+	eng, n, s, got := schedNIC(t, cfg)
+	eng.Defer(func() {
+		// One flush, two writers of K: two touches make K hot, the first
+		// writer claims it, the second parks behind it.
+		n.FromHost([]wire.Msg{startReq(1, K)})
+		n.FromHost([]wire.Msg{startReq(2, K)})
+	})
+	// Bounded runs: RunAll would drain the far-future shed backstop too.
+	eng.Run(eng.Now() + 10*sim.Microsecond)
+	if s.Stats().Parked != 1 || s.Stats().HotRouted != 1 {
+		t.Fatalf("stats = %+v, want 1 parked 1 hot-routed", s.Stats())
+	}
+	if len(*got) != 1 || (*got)[0].txn != 1 {
+		t.Fatalf("dispatched %v, want txn 1 only", *got)
+	}
+	if s.ParkedNow() != 1 {
+		t.Fatalf("parkedNow = %d", s.ParkedNow())
+	}
+
+	// Owner completes: the waiter admits onto the same core.
+	eng.Defer(func() { n.SchedDone(1) })
+	eng.Run(eng.Now() + 10*sim.Microsecond)
+	if len(*got) != 2 || (*got)[1].txn != 2 {
+		t.Fatalf("dispatched %v, want txn 2 after release", *got)
+	}
+	wantCore := int(hash64(K) % uint64(n.Cores()))
+	for _, d := range *got {
+		if d.core != wantCore {
+			t.Errorf("txn %d on core %d, want co-located on %d", d.txn, d.core, wantCore)
+		}
+	}
+	if s.ParkedNow() != 0 {
+		t.Fatalf("parkedNow after release = %d", s.ParkedNow())
+	}
+	// Double release of the same txn is a no-op.
+	eng.Defer(func() { n.SchedDone(1); n.SchedDone(2); n.SchedDone(2) })
+	eng.Run(eng.Now() + 10*sim.Microsecond)
+}
+
+// TestSchedReaderParksBehindWriter: a reader of a claimed hot key parks too
+// (racing would only earn it a validation abort).
+func TestSchedReaderParksBehindWriter(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 1 * sim.Microsecond
+	cfg.HotThreshold = 2
+	cfg.ShedAfter = sim.Second
+	const K = uint64(42)
+	eng, n, s, got := schedNIC(t, cfg)
+	eng.Defer(func() {
+		n.FromHost([]wire.Msg{startReq(1, K)})
+		n.FromHost([]wire.Msg{&wire.TxnRequest{Header: wire.Header{TxnID: 2}, ReadKeys: []uint64{K}}})
+	})
+	eng.Run(eng.Now() + 10*sim.Microsecond)
+	if len(*got) != 1 || s.Stats().Parked != 1 {
+		t.Fatalf("got %v, stats %+v", *got, s.Stats())
+	}
+	eng.Defer(func() { n.SchedDone(1) })
+	eng.Run(eng.Now() + 10*sim.Microsecond)
+	if len(*got) != 2 || (*got)[1].txn != 2 {
+		t.Fatalf("reader not admitted after writer release: %v", *got)
+	}
+	// The reader claimed nothing (no writes), so its close releases nothing.
+	if len(s.claims) != 0 {
+		t.Fatalf("claims left: %v", s.claims)
+	}
+}
+
+// TestSchedFIFOWaiters: waiters re-admit strictly in arrival order, one
+// in-flight owner at a time.
+func TestSchedFIFOWaiters(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 1 * sim.Microsecond
+	cfg.HotThreshold = 2
+	cfg.ShedAfter = sim.Second
+	const K = uint64(42)
+	eng, n, s, got := schedNIC(t, cfg)
+	eng.Defer(func() {
+		for id := uint64(1); id <= 4; id++ {
+			n.FromHost([]wire.Msg{startReq(id, K)})
+		}
+	})
+	eng.Run(eng.Now() + 10*sim.Microsecond)
+	if len(*got) != 1 {
+		t.Fatalf("dispatched %v, want owner only", *got)
+	}
+	// Release owners one by one; each release admits exactly the next waiter.
+	for round := 0; round < 3; round++ {
+		owner := (*got)[len(*got)-1].txn
+		eng.Defer(func() { n.SchedDone(owner) })
+		eng.Run(eng.Now() + 10*sim.Microsecond)
+	}
+	var order []uint64
+	for _, d := range *got {
+		order = append(order, d.txn)
+	}
+	if len(order) != 4 {
+		t.Fatalf("dispatch order %v", order)
+	}
+	for i, id := range order {
+		if id != uint64(i+1) {
+			t.Fatalf("dispatch order %v, want FIFO 1..4", order)
+		}
+	}
+	// Parked counts park EVENTS including re-parks: 3 initial waiters, then
+	// 2 re-parks after the first release and 1 after the second.
+	if s.Stats().Parked != 6 {
+		t.Fatalf("parked = %d, want 6", s.Stats().Parked)
+	}
+}
+
+func TestSchedShedAfterDeadline(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 1 * sim.Microsecond
+	cfg.HotThreshold = 2
+	cfg.ShedAfter = 20 * sim.Microsecond
+	const K = uint64(42)
+	eng, n, s, got := schedNIC(t, cfg)
+	var shed []uint64
+	s.OnShed(func(req *wire.TxnRequest) { shed = append(shed, req.TxnID) })
+	eng.Defer(func() {
+		n.FromHost([]wire.Msg{startReq(1, K)})
+		n.FromHost([]wire.Msg{startReq(2, K)})
+	})
+	// The owner never completes; the waiter trips its shed deadline.
+	eng.RunAll()
+	if len(shed) != 1 || shed[0] != 2 {
+		t.Fatalf("shed %v, want [2]", shed)
+	}
+	if s.Stats().Shed != 1 || s.ParkedNow() != 0 {
+		t.Fatalf("stats %+v parkedNow %d", s.Stats(), s.ParkedNow())
+	}
+	// A shed txn is skipped lazily if the owner later releases: no dispatch.
+	eng.Defer(func() { n.SchedDone(1) })
+	eng.RunAll()
+	if len(*got) != 1 {
+		t.Fatalf("shed txn was dispatched anyway: %v", *got)
+	}
+}
+
+// TestSchedNonStartBypass: only transaction starts go through the batch
+// queue; later-phase host messages keep the legacy immediate dispatch.
+func TestSchedNonStartBypass(t *testing.T) {
+	eng, n, s, _ := schedNIC(t, DefaultSchedConfig())
+	eng.Defer(func() {
+		n.FromHost([]wire.Msg{&wire.TxnDone{Header: wire.Header{TxnID: 5, Src: 0}}})
+	})
+	eng.RunAll()
+	if s.Stats().Submitted != 0 {
+		t.Fatal("non-start message entered the scheduler queue")
+	}
+	if n.Stats().HostRxMsgs != 1 {
+		t.Fatalf("host msg not delivered: %+v", n.Stats())
+	}
+}
+
+// TestSchedResetFencesTimers: a node restart wipes scheduler state and
+// in-flight batch/shed timers from before the reset must no-op.
+func TestSchedResetFencesTimers(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 5 * sim.Microsecond
+	eng, n, s, got := schedNIC(t, cfg)
+	eng.Defer(func() {
+		n.FromHost([]wire.Msg{startReq(1, 10)})
+		eng.After(1*sim.Microsecond, func() { n.Reset() })
+	})
+	eng.RunAll()
+	if len(*got) != 0 || s.Stats().Batches != 0 {
+		t.Fatalf("pre-reset batch flushed: got %v stats %+v", *got, s.Stats())
+	}
+	if s.QueueDepth() != 0 {
+		t.Fatalf("queue depth after reset = %d", s.QueueDepth())
+	}
+	// Traffic after the reset flows normally.
+	eng.Defer(func() { n.FromHost([]wire.Msg{startReq(2, 20)}) })
+	eng.RunAll()
+	if len(*got) != 1 || (*got)[0].txn != 2 {
+		t.Fatalf("post-reset dispatch: %v", *got)
+	}
+}
+
+// TestSchedDeadCoresDrop: with every core stopped the scheduler counts the
+// drop like the legacy dispatch and releases any claims it just took.
+func TestSchedDeadCoresDrop(t *testing.T) {
+	cfg := DefaultSchedConfig()
+	cfg.BatchWindow = 1 * sim.Microsecond
+	cfg.HotThreshold = 1
+	eng, n, s, got := schedNIC(t, cfg)
+	for i := 0; i < n.Cores(); i++ {
+		n.StopCore(i)
+	}
+	eng.Defer(func() { n.FromHost([]wire.Msg{startReq(1, 10)}) })
+	eng.RunAll()
+	if len(*got) != 0 {
+		t.Fatalf("dead NIC dispatched %v", *got)
+	}
+	if n.Stats().DeadDrops != 1 {
+		t.Fatalf("dead drops = %d", n.Stats().DeadDrops)
+	}
+	if len(s.claims) != 0 || len(s.owner) != 0 {
+		t.Fatalf("claims leaked on dead drop: %v %v", s.claims, s.owner)
+	}
+}

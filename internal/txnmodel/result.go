@@ -20,11 +20,19 @@ type Result struct {
 	Median        sim.Time
 	P99           sim.Time
 	Mean          sim.Time
-	// Abort breakdown by reason.
+	// Abort breakdown by reason. Together with AbortSnapshot below these
+	// cover every abort status, so on any run the per-reason fields sum to
+	// Aborts (pinned by the accounting cross-check test in core).
 	AbortLocked  int64
 	AbortVersion int64
 	AbortMissing int64
 	AbortView    int64
+	// AbortTimeout counts coordinator-watchdog expiries (fault runs only;
+	// always zero on fault-free runs).
+	AbortTimeout int64
+	// AbortSched counts transactions shed by the NIC conflict scheduler
+	// after parking past the shed deadline (scheduler runs only).
+	AbortSched int64
 	// Read-only breakdown, populated only when the system runs with MVCC
 	// snapshot reads enabled (all-zero otherwise, so String() and recorded
 	// fingerprints are unchanged for MVCC-off runs).
@@ -40,8 +48,17 @@ func (r Result) String() string {
 	s := fmt.Sprintf("tput=%.0f txn/s/server p50=%v p99=%v aborts=%d",
 		r.PerServerTput, r.Median, r.P99, r.Aborts)
 	if r.Aborts > 0 {
-		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d)",
+		s += fmt.Sprintf("(lk=%d ver=%d miss=%d vc=%d",
 			r.AbortLocked, r.AbortVersion, r.AbortMissing, r.AbortView)
+		// Reasons that only occur on fault/scheduler runs print only when
+		// present, keeping fault-free output byte-identical to old builds.
+		if r.AbortTimeout > 0 {
+			s += fmt.Sprintf(" to=%d", r.AbortTimeout)
+		}
+		if r.AbortSched > 0 {
+			s += fmt.Sprintf(" sched=%d", r.AbortSched)
+		}
+		s += ")"
 	}
 	s += fmt.Sprintf(" failed=%d", r.Failed)
 	if r.ROCommitted > 0 || r.SnapCommitted > 0 {
